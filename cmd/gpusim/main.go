@@ -1,0 +1,158 @@
+// Command gpusim runs a single isolated or shared simulation and prints
+// detailed per-kernel statistics. It is the low-level inspection tool;
+// cmd/qossim regenerates the paper's figures and cmd/sweep produces CSVs.
+//
+// Usage:
+//
+//	gpusim -kernels sgemm                        # isolated run
+//	gpusim -kernels sgemm:0.8,lbm -scheme rollover
+//	gpusim -kernels mri-q:0.5,lbm:0.4,sad -scheme spart -window 400000
+//
+// Each kernel is NAME[:GOALFRAC]; a goal fraction marks it as a QoS
+// kernel with that share of its isolated IPC as the target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		kernels = flag.String("kernels", "sgemm:0.8,lbm", "comma-separated NAME[:GOALFRAC] list")
+		scheme  = flag.String("scheme", "rollover", "none|naive|naive-history|elastic|rollover|rollover-time|spart|fair")
+		window  = flag.Int64("window", 200_000, "measurement window in cycles")
+		scale   = flag.Bool("scale56", false, "use the 56-SM configuration (Section 4.6)")
+		list    = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workloads.Profiles() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Class)
+		}
+		return
+	}
+	if err := run(*kernels, *scheme, *window, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return core.SchemeNone, nil
+	case "naive":
+		return core.SchemeNaive, nil
+	case "naive-history":
+		return core.SchemeNaiveHistory, nil
+	case "elastic":
+		return core.SchemeElastic, nil
+	case "rollover":
+		return core.SchemeRollover, nil
+	case "rollover-time":
+		return core.SchemeRolloverTime, nil
+	case "spart":
+		return core.SchemeSpart, nil
+	case "fair":
+		return core.SchemeFair, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parseSpecs(s string) ([]core.KernelSpec, error) {
+	var specs []core.KernelSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, goal, hasGoal := strings.Cut(part, ":")
+		spec := core.KernelSpec{Workload: name}
+		if hasGoal {
+			frac, err := strconv.ParseFloat(goal, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad goal in %q: %w", part, err)
+			}
+			spec.GoalFrac = frac
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no kernels given")
+	}
+	return specs, nil
+}
+
+func run(kernels, schemeName string, window int64, scale bool) error {
+	specs, err := parseSpecs(kernels)
+	if err != nil {
+		return err
+	}
+	scheme, err := parseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	cfg := config.Base()
+	if scale {
+		cfg = config.Scale56()
+	}
+	session, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: window})
+	if err != nil {
+		return err
+	}
+
+	hasQoS := false
+	for _, sp := range specs {
+		if sp.GoalFrac > 0 || sp.GoalIPC > 0 {
+			hasQoS = true
+		}
+	}
+	if len(specs) == 1 && !hasQoS {
+		ipc, err := session.IsolatedIPC(specs[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s isolated: %.1f IPC over %d cycles on %d SMs\n",
+			specs[0].Workload, ipc, window, cfg.NumSMs)
+		return nil
+	}
+	if !hasQoS && scheme != core.SchemeNone && scheme != core.SchemeFair {
+		return fmt.Errorf("scheme %v needs at least one kernel with a goal (NAME:FRAC)", scheme)
+	}
+
+	res, err := session.Run(specs, scheme)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme %v, %d SMs, %d cycles\n\n", res.Scheme, cfg.NumSMs, res.Cycles)
+	fmt.Printf("%-14s %-5s %10s %10s %10s %8s %9s\n",
+		"kernel", "QoS", "IPC", "isolated", "goal", "reached", "norm-tput")
+	for _, k := range res.Kernels {
+		goal, reached := "-", "-"
+		if k.IsQoS {
+			goal = fmt.Sprintf("%.1f", k.GoalIPC)
+			reached = fmt.Sprint(k.Reached)
+		}
+		fmt.Printf("%-14s %-5v %10.1f %10.1f %10s %8s %8.1f%%\n",
+			k.Name, k.IsQoS, k.IPC, k.IsolatedIPC, goal, reached, 100*k.NormThroughput)
+	}
+	fmt.Printf("\nper-kernel detail:\n")
+	for _, k := range res.Kernels {
+		st := k.Stats
+		fmt.Printf("  %-14s warps:%d l1miss:%4.1f%% txns:%d TBs:%d/%d preempted:%d launches:%d throttled:%d\n",
+			k.Name, st.WarpInstrs, 100*st.L1MissRate(), st.MemTxns,
+			st.TBsCompleted, st.TBsDispatched, st.TBsPreempted, st.Launches, st.ThrottledCycles)
+	}
+	fmt.Printf("\ntotal %.1f IPC | %.1f W avg | %.2e instr/J\n",
+		res.TotalIPC, res.Power.AvgPowerW, res.Power.InstrPerJoule)
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command qossim regenerates the paper's tables and figures on the
+// simulator. Each experiment prints the same rows/series the paper
+// reports, next to a note quoting the paper's own numbers.
+//
+// Usage:
+//
+//	qossim -exp fig6a              # reduced study (fast)
+//	qossim -exp fig6c -full        # the complete 60-trio sweep
+//	qossim -exp all -window 500000 # everything, longer window
+//
+// Experiments: table1, fig5, fig6a, fig6b, fig6c, fig7, fig8a, fig8b,
+// fig8c, fig9, fig10, fig11, fig12, fig13, fig14, ablate-history,
+// ablate-static, ablate-preempt, ablate-epoch, ablate-nqinit, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expName   = flag.String("exp", "fig6a", "experiment to run (or 'all')")
+		full      = flag.Bool("full", false, "run the complete study (90 pairs / 60 trios, 10 goals)")
+		subsample = flag.Int("subsample", 6, "take every k-th pair/trio in reduced mode")
+		window    = flag.Int64("window", 200_000, "measurement window in cycles")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		chart     = flag.Bool("chart", false, "render figures as ASCII bar charts")
+	)
+	flag.Parse()
+
+	if err := run(*expName, *full, *subsample, *window, *quiet, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "qossim:", err)
+		os.Exit(1)
+	}
+}
+
+func newStudy(cfg config.GPU, window int64, full bool, subsample int, quiet bool) (exp.Study, error) {
+	s, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: window})
+	if err != nil {
+		return exp.Study{}, err
+	}
+	var st exp.Study
+	if full {
+		st = exp.FullStudy(s)
+	} else {
+		st = exp.ReducedStudy(s, subsample)
+	}
+	if !quiet {
+		start := time.Now()
+		st.Progress = func(stage string, done, total int) {
+			if done == total || done%25 == 0 {
+				fmt.Fprintf(os.Stderr, "\r[%6s] %-24s %d/%d   ",
+					time.Since(start).Round(time.Second), stage, done, total)
+			}
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	return st, nil
+}
+
+type driver struct {
+	name  string
+	scale bool // uses the 56-SM configuration
+	fn    func(exp.Study) (*exp.Table, error)
+}
+
+func drivers() []driver {
+	return []driver{
+		{"fig5", false, exp.Fig5},
+		{"fig6a", false, exp.Fig6a},
+		{"fig6b", false, exp.Fig6b},
+		{"fig6c", false, exp.Fig6c},
+		{"fig7", false, exp.Fig7},
+		{"fig8a", false, exp.Fig8a},
+		{"fig8b", false, exp.Fig8b},
+		{"fig8c", false, exp.Fig8c},
+		{"fig9", false, exp.Fig9},
+		{"fig10", false, exp.Fig10},
+		{"fig11", false, exp.Fig11},
+		{"fig12", true, exp.Fig12},
+		{"fig13", true, exp.Fig13},
+		{"fig14", false, exp.Fig14},
+		{"ablate-history", false, exp.AblateHistory},
+		{"ablate-static", false, exp.AblateStatic},
+		{"ablate-preempt", false, exp.AblatePreemption},
+		{"ablate-epoch", false, func(st exp.Study) (*exp.Table, error) { return exp.AblateEpochLength(st, nil) }},
+		{"ablate-nqinit", false, func(st exp.Study) (*exp.Table, error) { return exp.AblateNonQoSInit(st, nil) }},
+	}
+}
+
+func run(name string, full bool, subsample int, window int64, quiet, chart bool) error {
+	if name == "table1" {
+		fmt.Print(exp.Table1(config.Base()))
+		return nil
+	}
+	var selected []driver
+	for _, d := range drivers() {
+		if d.name == name || name == "all" {
+			selected = append(selected, d)
+		}
+	}
+	if name == "all" {
+		fmt.Print(exp.Table1(config.Base()))
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	for _, d := range selected {
+		cfg := config.Base()
+		if d.scale {
+			cfg = config.Scale56()
+		}
+		st, err := newStudy(cfg, window, full, subsample, quiet)
+		if err != nil {
+			return err
+		}
+		t, err := d.fn(st)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.name, err)
+		}
+		if chart {
+			fmt.Print(t.Chart(48))
+		} else {
+			fmt.Print(t)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Command sweep runs pair or trio co-run studies and emits one CSV row
+// per case, for offline plotting of the paper's figures.
+//
+// Usage:
+//
+//	sweep -mode pairs -schemes rollover,spart > pairs.csv
+//	sweep -mode trios -nqos 2 -schemes rollover,spart -subsample 2 > trios2.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "pairs", "pairs|trios")
+		nQoS      = flag.Int("nqos", 1, "QoS kernels per trio (trios mode)")
+		schemes   = flag.String("schemes", "rollover,spart", "comma-separated scheme list")
+		window    = flag.Int64("window", 200_000, "measurement window in cycles")
+		subsample = flag.Int("subsample", 1, "take every k-th pair/trio")
+		goalsFlag = flag.String("goals", "", "comma-separated goal fractions (default: paper sweep)")
+		scale     = flag.Bool("scale56", false, "use the 56-SM configuration")
+	)
+	flag.Parse()
+	if err := run(*mode, *nQoS, *schemes, *window, *subsample, *goalsFlag, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSchemes(s string) ([]core.Scheme, error) {
+	table := map[string]core.Scheme{
+		"none": core.SchemeNone, "naive": core.SchemeNaive,
+		"naive-history": core.SchemeNaiveHistory, "elastic": core.SchemeElastic,
+		"rollover": core.SchemeRollover, "rollover-time": core.SchemeRolloverTime,
+		"spart": core.SchemeSpart,
+	}
+	var out []core.Scheme
+	for _, name := range strings.Split(s, ",") {
+		sc, ok := table[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown scheme %q", name)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+func parseGoals(s string, def []float64) ([]float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(mode string, nQoS int, schemeList string, window int64, subsample int, goalsFlag string, scale bool) error {
+	schemes, err := parseSchemes(schemeList)
+	if err != nil {
+		return err
+	}
+	def := exp.Goals()
+	if mode == "trios" && nQoS == 2 {
+		def = exp.TwoQoSGoals()
+	}
+	goals, err := parseGoals(goalsFlag, def)
+	if err != nil {
+		return err
+	}
+	cfg := config.Base()
+	if scale {
+		cfg = config.Scale56()
+	}
+	session, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: window})
+	if err != nil {
+		return err
+	}
+	if subsample < 1 {
+		subsample = 1
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	progress := func(stage string) func(int, int) {
+		return func(done, total int) {
+			if done%20 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%-30s %d/%d ", stage, done, total)
+			}
+		}
+	}
+
+	switch mode {
+	case "pairs":
+		var pairs []workloads.Pair
+		for i, p := range workloads.Pairs() {
+			if i%subsample == 0 {
+				pairs = append(pairs, p)
+			}
+		}
+		w.Write([]string{"scheme", "qos", "nonqos", "class", "goal", "reached",
+			"qos_ipc", "qos_goal_ipc", "goal_ratio", "nonqos_norm_tput", "instr_per_watt"})
+		for _, sc := range schemes {
+			cases, err := exp.PairSweep(session, pairs, goals, sc, progress(sc.String()))
+			if err != nil {
+				return err
+			}
+			for _, c := range cases {
+				q, nq := c.QoSKernel(), c.NonQoSKernel()
+				cls, _ := workloads.PairClass(c.Pair.QoS, c.Pair.NonQoS)
+				w.Write([]string{
+					sc.String(), c.Pair.QoS, c.Pair.NonQoS, cls,
+					fmt.Sprintf("%.2f", c.Goal),
+					fmt.Sprint(c.Res.AllReached),
+					fmt.Sprintf("%.2f", q.IPC),
+					fmt.Sprintf("%.2f", q.GoalIPC),
+					fmt.Sprintf("%.4f", q.GoalRatio),
+					fmt.Sprintf("%.4f", nq.NormThroughput),
+					fmt.Sprintf("%.3e", c.Res.Power.InstrPerWatt),
+				})
+			}
+			w.Flush()
+		}
+	case "trios":
+		var trios []workloads.Trio
+		for i, tr := range workloads.Trios() {
+			if i%subsample == 0 {
+				trios = append(trios, tr)
+			}
+		}
+		w.Write([]string{"scheme", "a", "b", "c", "nqos", "goal", "reached",
+			"ratio_a", "ratio_b", "nonqos_norm_tput"})
+		for _, sc := range schemes {
+			cases, err := exp.TrioSweep(session, trios, goals, nQoS, sc, progress(sc.String()))
+			if err != nil {
+				return err
+			}
+			for _, c := range cases {
+				ratioB := ""
+				if nQoS == 2 {
+					ratioB = fmt.Sprintf("%.4f", c.Res.Kernels[1].GoalRatio)
+				}
+				var nqNorm float64
+				var nqCount int
+				for _, k := range c.Res.Kernels {
+					if !k.IsQoS {
+						nqNorm += k.NormThroughput
+						nqCount++
+					}
+				}
+				if nqCount > 0 {
+					nqNorm /= float64(nqCount)
+				}
+				w.Write([]string{
+					sc.String(), c.Trio.A, c.Trio.B, c.Trio.C,
+					fmt.Sprint(nQoS),
+					fmt.Sprintf("%.2f", c.QoSGoals[0]),
+					fmt.Sprint(c.Res.AllReached),
+					fmt.Sprintf("%.4f", c.Res.Kernels[0].GoalRatio),
+					ratioB,
+					fmt.Sprintf("%.4f", nqNorm),
+				})
+			}
+			w.Flush()
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	fmt.Fprintln(os.Stderr)
+	return nil
+}

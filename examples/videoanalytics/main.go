@@ -1,0 +1,89 @@
+// Video analytics: translate a frame-rate requirement into an
+// architectural IPC goal (paper Section 3.2) and enforce it while a batch
+// training job shares the GPU.
+//
+// The pipeline decodes 60 frames per second; each frame is processed by
+// one launch of a vision kernel. The OS-resident scheduler knows the
+// kernel's instruction count per frame, subtracts the PCI-E transfer time
+// from the per-frame budget, and asks the QoS manager for the resulting
+// IPC.
+//
+// Run with:
+//
+//	go run ./examples/videoanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cfg := config.Base()
+	session, err := core.NewSession(core.Config{GPU: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The vision kernel is modelled by the suite's stencil benchmark
+	// (convolution-style memory behaviour). Work out its per-frame
+	// instruction volume from the kernel description.
+	vision, err := workloads.Kernel("stencil", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	instrsPerFrame := vision.InstrsPerThread() *
+		int64(vision.Profile.ThreadsPerTB) * int64(vision.Profile.GridTBs)
+
+	// 60 fps leaves 16.67ms per frame end to end. Each frame ships
+	// 8MB over PCI-E at 16GB/s before the kernel may start.
+	const fps = 60.0
+	frameBudget := 1.0 / fps
+	transfer := core.PCIeTransferSeconds(8<<20, 16, 50e-6)
+	kernelBudget := frameBudget - transfer
+
+	ipcGoal, err := core.IPCGoalForDeadline(cfg, instrsPerFrame, kernelBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frame budget %.2fms - %.2fms PCI-E = %.2fms kernel time\n",
+		frameBudget*1e3, transfer*1e3, kernelBudget*1e3)
+	fmt.Printf("%.2e instructions per frame -> IPC goal %.1f\n\n", float64(instrsPerFrame), ipcGoal)
+
+	// Sanity-check feasibility against the isolated throughput, the
+	// way a datacenter admission controller would.
+	iso, err := session.IsolatedIPC(core.KernelSpec{Workload: "stencil"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ipcGoal > iso {
+		fmt.Printf("requested IPC %.1f exceeds isolated %.1f: the frame rate is infeasible on this part\n", ipcGoal, iso)
+		return
+	}
+	fmt.Printf("goal is %.1f%% of the kernel's isolated IPC (%.1f) — admitting\n\n", 100*ipcGoal/iso, iso)
+
+	// Co-run with a best-effort training job (sgemm) under Rollover.
+	res, err := session.Run([]core.KernelSpec{
+		{Workload: "stencil", GoalIPC: ipcGoal},
+		{Workload: "sgemm"},
+	}, core.SchemeRollover)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, batch := res.Kernels[0], res.Kernels[1]
+	fmt.Printf("vision kernel: %.1f IPC vs goal %.1f -> frame deadline %s\n",
+		q.IPC, q.GoalIPC, verdict(q.Reached))
+	fmt.Printf("training job:  %.1f IPC (%.1f%% of what it gets alone)\n",
+		batch.IPC, 100*batch.NormThroughput)
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "MET"
+	}
+	return "MISSED"
+}

@@ -1,0 +1,173 @@
+// Package cache implements the set-associative caches used for the per-SM
+// L1 data cache and the per-partition L2 slices.
+//
+// The model is a timing-free tag array: Access looks up a line, fills it
+// on a miss (allocate-on-miss with LRU replacement), and reports hit or
+// miss. Latency and bandwidth are charged by the caller (sm and mem), so
+// the cache itself only has to be a correct and fast tag store.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Stats accumulates access counters for the power model and reports.
+type Stats struct {
+	Accesses int64
+	Misses   int64
+	Evicts   int64
+}
+
+// HitRate returns hits/accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Accesses-s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative, allocate-on-miss tag array with true-LRU
+// replacement. It is not safe for concurrent use; the simulator is
+// single-threaded by design (deterministic cycle loop).
+type Cache struct {
+	cfg       config.Cache
+	sets      int
+	assoc     int
+	lineShift uint
+	setMask   uint64
+
+	// tags[set*assoc+way]; valid bit is folded into tags via tag|1<<63
+	// being impossible for our 50-bit address space, so we use tag==0 as
+	// invalid only if never filled; an explicit valid slice is clearer
+	// and costs one byte per line.
+	tags  []uint64
+	valid []bool
+	// lruTick[idx] is the last-touch timestamp; the way with the lowest
+	// tick in a set is the LRU victim. A uint32 wrap after 4G accesses
+	// per cache would only perturb replacement, not correctness, but we
+	// use uint64 to keep the invariant exact.
+	lruTick []uint64
+	tick    uint64
+
+	Stats Stats
+}
+
+// New builds a cache from its geometry. It panics on invalid geometry;
+// config.Validate should have been called first.
+func New(cfg config.Cache) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("cache: %v", err))
+	}
+	sets := cfg.Sets()
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	n := sets * cfg.Assoc
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		assoc:     cfg.Assoc,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		lruTick:   make([]uint64, n),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() config.Cache { return c.cfg }
+
+// Access probes the cache for addr, filling the line on a miss. It
+// returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Stats.Accesses++
+	c.tick++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> 0 // full line number doubles as the tag
+	base := set * c.assoc
+
+	victim := base
+	victimTick := ^uint64(0)
+	for i := base; i < base+c.assoc; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.lruTick[i] = c.tick
+			return true
+		}
+		if !c.valid[i] {
+			// Prefer an invalid way as the fill target.
+			if victimTick != 0 {
+				victim, victimTick = i, 0
+			}
+		} else if c.lruTick[i] < victimTick {
+			victim, victimTick = i, c.lruTick[i]
+		}
+	}
+	c.Stats.Misses++
+	if c.valid[victim] {
+		c.Stats.Evicts++
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.lruTick[victim] = c.tick
+	return false
+}
+
+// Probe reports whether addr is resident without updating LRU state or
+// filling. Used by tests and invariant checks.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line. Statistics are preserved.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Resident returns the number of valid lines (for tests/invariants).
+func (c *Cache) Resident() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies structural invariants: no duplicate tags within
+// a set and victim bookkeeping in range. It returns an error description
+// or "" when healthy. Exposed for property-based tests.
+func (c *Cache) CheckInvariants() string {
+	for s := 0; s < c.sets; s++ {
+		base := s * c.assoc
+		seen := make(map[uint64]bool, c.assoc)
+		for i := base; i < base+c.assoc; i++ {
+			if !c.valid[i] {
+				continue
+			}
+			if seen[c.tags[i]] {
+				return fmt.Sprintf("duplicate tag %#x in set %d", c.tags[i], s)
+			}
+			seen[c.tags[i]] = true
+			if int(c.tags[i]&c.setMask) != s {
+				return fmt.Sprintf("tag %#x resident in wrong set %d", c.tags[i], s)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/rng"
+)
+
+func small() *Cache {
+	return New(config.Cache{SizeBytes: 2048, LineBytes: 128, Assoc: 2}) // 8 sets
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(0x1000) {
+		t.Fatal("cold access reported a hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access to same line missed")
+	}
+	if !c.Access(0x1000 + 127) {
+		t.Fatal("access within the same 128B line missed")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	// Three lines mapping to the same set (8 sets * 128B line = 1KB stride).
+	a, b, d := uint64(0), uint64(1024), uint64(2048)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now MRU, b is LRU
+	if c.Access(d) {
+		t.Fatal("d should miss")
+	}
+	// d must have evicted b, not a.
+	if !c.Probe(a) {
+		t.Fatal("LRU evicted the MRU line")
+	}
+	if c.Probe(b) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !c.Probe(d) {
+		t.Fatal("filled line not resident")
+	}
+	if c.Stats.Evicts != 1 {
+		t.Fatalf("evicts = %d, want 1", c.Stats.Evicts)
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := small()
+	c.Access(0)
+	c.Access(1024) // set now [0,1024], LRU=0
+	c.Probe(0)     // must NOT refresh 0's recency
+	c.Access(2048) // evicts true LRU: 0
+	if c.Probe(0) {
+		t.Fatal("Probe refreshed LRU state")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	for i := uint64(0); i < 16; i++ {
+		c.Access(i * 128)
+	}
+	if c.Resident() == 0 {
+		t.Fatal("nothing resident after fills")
+	}
+	c.Flush()
+	if c.Resident() != 0 {
+		t.Fatal("lines survive Flush")
+	}
+	if c.Access(0) {
+		t.Fatal("hit after Flush")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := small()
+	for i := uint64(0); i < 1000; i++ {
+		c.Access(i * 128)
+	}
+	if got := c.Resident(); got > 16 {
+		t.Fatalf("%d lines resident, capacity is 16", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := small()
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	c.Access(128)
+	if got := c.Stats.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+	var empty Stats
+	if empty.HitRate() != 0 {
+		t.Fatal("empty stats hit rate should be 0")
+	}
+}
+
+func TestWorkingSetFitsAllHitsSteadyState(t *testing.T) {
+	c := New(config.Cache{SizeBytes: 32 << 10, LineBytes: 128, Assoc: 4})
+	// 16KB working set in a 32KB cache: after the first pass, all hits.
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 16<<10; a += 128 {
+			c.Access(a)
+		}
+	}
+	total := c.Stats.Accesses
+	if c.Stats.Misses != 128 { // exactly one cold miss per line
+		t.Fatalf("misses = %d of %d, want 128 cold misses only", c.Stats.Misses, total)
+	}
+}
+
+func TestInvariantsUnderRandomStream(t *testing.T) {
+	c := New(config.Cache{SizeBytes: 8 << 10, LineBytes: 128, Assoc: 4})
+	src := rng.New(2024)
+	for i := 0; i < 50000; i++ {
+		c.Access(src.Uint64() % (1 << 20))
+		if i%5000 == 0 {
+			if msg := c.CheckInvariants(); msg != "" {
+				t.Fatalf("invariant violated after %d accesses: %s", i, msg)
+			}
+		}
+	}
+	if msg := c.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestQuickHitAfterFill(t *testing.T) {
+	c := New(config.Cache{SizeBytes: 64 << 10, LineBytes: 128, Assoc: 8})
+	f := func(addr uint64) bool {
+		addr %= 1 << 40
+		c.Access(addr)
+		return c.Probe(addr) // immediately after a fill the line is resident
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnInvalidGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted invalid geometry")
+		}
+	}()
+	New(config.Cache{SizeBytes: 1000, LineBytes: 100, Assoc: 3})
+}

@@ -1,0 +1,376 @@
+// Package core is the library's public facade. It assembles a simulated
+// GPU, translates application QoS goals into architectural IPC goals
+// (Section 3.2 of the paper), installs the selected management scheme and
+// runs the co-execution, returning per-kernel results.
+//
+// Typical use:
+//
+//	s, _ := core.NewSession(core.Config{})
+//	res, _ := s.Run([]core.KernelSpec{
+//	    {Workload: "sgemm", GoalFrac: 0.8}, // QoS kernel: 80% of isolated
+//	    {Workload: "lbm"},                  // non-QoS kernel
+//	}, core.SchemeRollover)
+//	fmt.Println(res.Kernels[0].Reached)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/kern"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/qos"
+	"repro/internal/spart"
+	"repro/internal/workloads"
+)
+
+// Scheme selects the sharing/QoS management policy for a run.
+type Scheme int
+
+const (
+	// SchemeNone runs unmanaged fine-grained sharing (no QoS control).
+	SchemeNone Scheme = iota
+	// SchemeNaive is quota allocation without history adjustment.
+	SchemeNaive
+	// SchemeNaiveHistory adds the α history adjustment (Figure 5).
+	SchemeNaiveHistory
+	// SchemeElastic is the elastic-epoch scheme.
+	SchemeElastic
+	// SchemeRollover is the paper's best scheme.
+	SchemeRollover
+	// SchemeRolloverTime is the CPU-style prioritized variant.
+	SchemeRolloverTime
+	// SchemeSpart is the spatial-partitioning baseline with hill
+	// climbing.
+	SchemeSpart
+	// SchemeFair is an extension: SMK-style fairness on the same quota
+	// machinery (equal normalized progress for every sharer; goals are
+	// ignored). The paper's firmware can switch between fairness and
+	// QoS policies (Section 3.3).
+	SchemeFair
+)
+
+// String returns the display name used in figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "Unmanaged"
+	case SchemeNaive:
+		return "Naive"
+	case SchemeNaiveHistory:
+		return "Naive+History"
+	case SchemeElastic:
+		return "Elastic"
+	case SchemeRollover:
+		return "Rollover"
+	case SchemeRolloverTime:
+		return "Rollover-Time"
+	case SchemeSpart:
+		return "Spart"
+	case SchemeFair:
+		return "Fair"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// qosScheme maps facade schemes to qos package schemes.
+func (s Scheme) qosScheme() (qos.Scheme, bool) {
+	switch s {
+	case SchemeNaive:
+		return qos.Naive, true
+	case SchemeNaiveHistory:
+		return qos.NaiveHistory, true
+	case SchemeElastic:
+		return qos.Elastic, true
+	case SchemeRollover:
+		return qos.Rollover, true
+	case SchemeRolloverTime:
+		return qos.RolloverTime, true
+	}
+	return 0, false
+}
+
+// KernelSpec names one kernel of a co-run and its QoS goal.
+type KernelSpec struct {
+	// Workload is a benchmark name from internal/workloads. Leave empty
+	// and set Profile for a custom kernel.
+	Workload string
+	// Profile is a custom kernel profile (ignored when Workload is set).
+	Profile *kern.Profile
+
+	// GoalFrac expresses the QoS goal as a fraction of the kernel's
+	// isolated IPC (the paper sweeps 0.50..0.95). 0 means non-QoS.
+	GoalFrac float64
+	// GoalIPC is an absolute thread-IPC goal; it overrides GoalFrac
+	// when positive.
+	GoalIPC float64
+}
+
+// name returns the display name of the spec.
+func (ks KernelSpec) name() string {
+	if ks.Workload != "" {
+		return ks.Workload
+	}
+	if ks.Profile != nil {
+		return ks.Profile.Name
+	}
+	return "?"
+}
+
+// Config configures a Session.
+type Config struct {
+	// GPU is the device configuration; the zero value means
+	// config.Base() (the paper's Table 1).
+	GPU config.GPU
+	// WindowCycles is the measurement window per run. 0 means 200000.
+	// The paper simulates 2M cycles; shorter windows trade fidelity for
+	// speed and are recorded in EXPERIMENTS.md.
+	WindowCycles int64
+	// QoSOptions tunes the QoS manager (ablations).
+	QoSOptions qos.Options
+	// PowerCosts overrides the energy table; nil means defaults.
+	PowerCosts *power.Costs
+}
+
+// Session runs simulations under one fixed configuration and caches
+// isolated-IPC measurements. A Session is safe for concurrent use: the
+// experiment harness fans independent co-runs out across CPUs.
+type Session struct {
+	cfg      Config
+	mu       sync.Mutex
+	isolated map[string]float64
+}
+
+// NewSession validates the configuration and returns a Session.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.GPU.NumSMs == 0 {
+		cfg.GPU = config.Base()
+	}
+	if err := cfg.GPU.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WindowCycles == 0 {
+		cfg.WindowCycles = 200_000
+	}
+	if cfg.WindowCycles < 2*cfg.GPU.EpochLength {
+		return nil, errors.New("core: window must cover at least two epochs")
+	}
+	return &Session{cfg: cfg, isolated: make(map[string]float64)}, nil
+}
+
+// GPUConfig returns the session's device configuration.
+func (s *Session) GPUConfig() config.GPU { return s.cfg.GPU }
+
+// Window returns the measurement window in cycles.
+func (s *Session) Window() int64 { return s.cfg.WindowCycles }
+
+// buildKernel materializes a spec into a kernel with runtime slot id.
+func buildKernel(spec KernelSpec, slot int) (*kern.Kernel, error) {
+	if spec.Workload != "" {
+		return workloads.Kernel(spec.Workload, slot)
+	}
+	if spec.Profile != nil {
+		return kern.Build(slot, *spec.Profile, workloads.Seed)
+	}
+	return nil, errors.New("core: spec needs Workload or Profile")
+}
+
+// IsolatedIPC measures (and caches) the kernel's thread-IPC when running
+// alone on the whole GPU for the session window.
+func (s *Session) IsolatedIPC(spec KernelSpec) (float64, error) {
+	key := spec.name()
+	s.mu.Lock()
+	v, ok := s.isolated[key]
+	s.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	k, err := buildKernel(spec, 0)
+	if err != nil {
+		return 0, err
+	}
+	g, err := gpu.New(s.cfg.GPU, []*kern.Kernel{k})
+	if err != nil {
+		return 0, err
+	}
+	g.Run(s.cfg.WindowCycles)
+	ipc := g.IPC(0)
+	s.mu.Lock()
+	// Two goroutines may race to measure the same kernel; both compute
+	// the identical deterministic value, so last-write-wins is fine.
+	s.isolated[key] = ipc
+	s.mu.Unlock()
+	return ipc, nil
+}
+
+// KernelResult reports one kernel's outcome in a co-run.
+type KernelResult struct {
+	Name        string
+	IsQoS       bool
+	GoalIPC     float64 // absolute goal (0 for non-QoS)
+	IPC         float64 // achieved thread-IPC
+	IsolatedIPC float64
+	// Reached reports whether a QoS kernel met its goal.
+	Reached bool
+	// NormThroughput is IPC / IsolatedIPC (the paper's normalized
+	// throughput for non-QoS kernels, Figure 8).
+	NormThroughput float64
+	// GoalRatio is IPC / GoalIPC for QoS kernels (Figure 9 overshoot).
+	GoalRatio float64
+	Stats     metrics.KernelStats
+}
+
+// Result reports a complete co-run.
+type Result struct {
+	Scheme  Scheme
+	Cycles  int64
+	Kernels []KernelResult
+	// AllReached is true when every QoS kernel met its goal.
+	AllReached bool
+	Power      power.Report
+	// TotalIPC is the combined thread-IPC of all kernels.
+	TotalIPC float64
+}
+
+// Run co-executes the specs under the given scheme for the session
+// window and reports per-kernel outcomes. Isolated IPCs are measured (or
+// taken from cache) first to resolve fractional goals.
+func (s *Session) Run(specs []KernelSpec, scheme Scheme) (*Result, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("core: no kernels")
+	}
+	kernels := make([]*kern.Kernel, len(specs))
+	goals := make([]float64, len(specs))
+	isolated := make([]float64, len(specs))
+	for i, spec := range specs {
+		k, err := buildKernel(spec, i)
+		if err != nil {
+			return nil, err
+		}
+		kernels[i] = k
+		iso, err := s.IsolatedIPC(spec)
+		if err != nil {
+			return nil, err
+		}
+		isolated[i] = iso
+		switch {
+		case spec.GoalIPC > 0:
+			goals[i] = spec.GoalIPC
+		case spec.GoalFrac > 0:
+			if spec.GoalFrac > 1 {
+				return nil, fmt.Errorf("core: GoalFrac %.2f > 1 for %s", spec.GoalFrac, spec.name())
+			}
+			goals[i] = spec.GoalFrac * iso
+		}
+	}
+
+	g, err := gpu.New(s.cfg.GPU, kernels)
+	if err != nil {
+		return nil, err
+	}
+	if err := installScheme(g, scheme, goals, isolated, s.cfg.QoSOptions); err != nil {
+		return nil, err
+	}
+	g.Run(s.cfg.WindowCycles)
+
+	costs := power.DefaultCosts()
+	if s.cfg.PowerCosts != nil {
+		costs = *s.cfg.PowerCosts
+	}
+	res := &Result{
+		Scheme:     scheme,
+		Cycles:     g.Now,
+		AllReached: true,
+		Power:      power.Measure(g, costs),
+	}
+	for i, spec := range specs {
+		kr := KernelResult{
+			Name:        spec.name(),
+			IsQoS:       goals[i] > 0,
+			GoalIPC:     goals[i],
+			IPC:         g.IPC(i),
+			IsolatedIPC: isolated[i],
+			Stats:       *g.Stats[i],
+		}
+		if kr.IsolatedIPC > 0 {
+			kr.NormThroughput = kr.IPC / kr.IsolatedIPC
+		}
+		if kr.IsQoS {
+			kr.GoalRatio = kr.IPC / kr.GoalIPC
+			kr.Reached = kr.IPC >= kr.GoalIPC
+			if !kr.Reached {
+				res.AllReached = false
+			}
+		}
+		res.TotalIPC += kr.IPC
+		res.Kernels = append(res.Kernels, kr)
+	}
+	return res, nil
+}
+
+// installScheme wires the chosen management policy into the GPU.
+func installScheme(g *gpu.GPU, scheme Scheme, goals, isolated []float64, opts qos.Options) error {
+	switch scheme {
+	case SchemeNone:
+		return nil
+	case SchemeFair:
+		f, err := qos.NewFair(g, isolated, opts)
+		if err != nil {
+			return err
+		}
+		f.Install()
+		return nil
+	case SchemeSpart:
+		c, err := spart.New(g, goals, isolated)
+		if err != nil {
+			return err
+		}
+		c.Install()
+		return nil
+	default:
+		qs, ok := scheme.qosScheme()
+		if !ok {
+			return fmt.Errorf("core: unknown scheme %v", scheme)
+		}
+		fracs := make([]float64, len(goals))
+		for i, goal := range goals {
+			if goal > 0 && isolated[i] > 0 {
+				fracs[i] = goal / isolated[i]
+			}
+		}
+		qos.SetupFineGrained(g, goals, fracs)
+		m, err := qos.New(g, qs, goals, opts)
+		if err != nil {
+			return err
+		}
+		m.Install()
+		return nil
+	}
+}
+
+// IPCGoalForDeadline translates an application-level requirement —
+// "execute instrs thread instructions within seconds of pure kernel time"
+// — into the architectural IPC goal the QoS manager enforces
+// (Section 3.2: IPC = Instructions / (Frequency * KernelExecutionTime)).
+func IPCGoalForDeadline(cfg config.GPU, instrs int64, seconds float64) (float64, error) {
+	if instrs <= 0 || seconds <= 0 {
+		return 0, errors.New("core: instrs and seconds must be positive")
+	}
+	freq := float64(cfg.CoreClockMHz) * 1e6
+	return float64(instrs) / (freq * seconds), nil
+}
+
+// PCIeTransferSeconds estimates the PCI-E transfer component an OS
+// scheduler must subtract from an end-to-end deadline before calling
+// IPCGoalForDeadline (Section 3.2 discusses this accounting): fixed
+// per-transfer latency plus size over bandwidth.
+func PCIeTransferSeconds(bytes int64, gbps float64, fixedLatency float64) float64 {
+	if bytes <= 0 || gbps <= 0 {
+		return fixedLatency
+	}
+	return fixedLatency + float64(bytes)/(gbps*1e9)
+}

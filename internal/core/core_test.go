@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/kern"
+)
+
+// fastConfig is a small device + short window for facade tests.
+func fastConfig() Config {
+	cfg := config.Base()
+	cfg.NumSMs = 4
+	return Config{GPU: cfg, WindowCycles: 40_000}
+}
+
+func customProfile(name string) *kern.Profile {
+	return &kern.Profile{
+		Name: name, Class: kern.ClassCompute,
+		BodyInstrs: 12, Iterations: 400,
+		FracGlobalMem: 0.1, FracStore: 0.2,
+		DepDensity:     0.2,
+		CoalesceDegree: 1.5, ReuseFrac: 0.5,
+		HotBytes: 4 << 10, FootprintBytes: 1 << 20,
+		ThreadsPerTB: 64, RegsPerThread: 16, GridTBs: 192,
+	}
+}
+
+func TestNewSessionDefaults(t *testing.T) {
+	s, err := NewSession(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GPUConfig().NumSMs != 16 {
+		t.Fatal("zero config did not default to Table 1")
+	}
+	if s.Window() != 200_000 {
+		t.Fatalf("default window = %d", s.Window())
+	}
+}
+
+func TestNewSessionRejectsShortWindow(t *testing.T) {
+	if _, err := NewSession(Config{WindowCycles: 100}); err == nil {
+		t.Fatal("accepted a window shorter than two epochs")
+	}
+}
+
+func TestIsolatedIPCCached(t *testing.T) {
+	s, _ := NewSession(fastConfig())
+	spec := KernelSpec{Profile: customProfile("c")}
+	a, err := s.IsolatedIPC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= 0 {
+		t.Fatal("no isolated progress")
+	}
+	b, _ := s.IsolatedIPC(spec)
+	if a != b {
+		t.Fatal("isolated IPC changed between calls (cache broken)")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s, _ := NewSession(fastConfig())
+	if _, err := s.Run(nil, SchemeRollover); err == nil {
+		t.Fatal("accepted empty spec list")
+	}
+	if _, err := s.Run([]KernelSpec{{}}, SchemeRollover); err == nil {
+		t.Fatal("accepted spec without workload or profile")
+	}
+	if _, err := s.Run([]KernelSpec{
+		{Profile: customProfile("a"), GoalFrac: 1.5},
+		{Profile: customProfile("b")},
+	}, SchemeRollover); err == nil {
+		t.Fatal("accepted GoalFrac > 1")
+	}
+}
+
+func TestRunReachesEasyGoal(t *testing.T) {
+	s, _ := NewSession(fastConfig())
+	res, err := s.Run([]KernelSpec{
+		{Profile: customProfile("a"), GoalFrac: 0.4},
+		{Profile: customProfile("b")},
+	}, SchemeRollover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Kernels[0]
+	if !q.IsQoS || q.GoalIPC <= 0 {
+		t.Fatal("QoS kernel not classified")
+	}
+	if !q.Reached {
+		t.Fatalf("easy 40%% goal missed: IPC %.1f of %.1f", q.IPC, q.GoalIPC)
+	}
+	if !res.AllReached {
+		t.Fatal("AllReached false with all QoS goals met")
+	}
+	nq := res.Kernels[1]
+	if nq.IsQoS || nq.GoalIPC != 0 {
+		t.Fatal("non-QoS kernel misclassified")
+	}
+	if res.TotalIPC < q.IPC {
+		t.Fatal("TotalIPC less than one kernel's IPC")
+	}
+	if res.Power.ThreadInstrs == 0 {
+		t.Fatal("power report empty")
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	s, _ := NewSession(fastConfig())
+	specs := []KernelSpec{
+		{Profile: customProfile("a"), GoalFrac: 0.5},
+		{Profile: customProfile("b")},
+	}
+	for _, scheme := range []Scheme{SchemeNone, SchemeNaive, SchemeNaiveHistory,
+		SchemeElastic, SchemeRollover, SchemeRolloverTime, SchemeSpart} {
+		res, err := s.Run(specs, scheme)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if res.Cycles != s.Window() {
+			t.Fatalf("%v: ran %d cycles", scheme, res.Cycles)
+		}
+		if res.Kernels[0].IPC <= 0 {
+			t.Fatalf("%v: QoS kernel made no progress", scheme)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	specs := []KernelSpec{
+		{Profile: customProfile("a"), GoalFrac: 0.5},
+		{Profile: customProfile("b")},
+	}
+	run := func() float64 {
+		s, _ := NewSession(fastConfig())
+		res, err := s.Run(specs, SchemeRollover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Kernels[0].IPC*1e6 + res.Kernels[1].IPC
+	}
+	if run() != run() {
+		t.Fatal("identical sessions produced different results")
+	}
+}
+
+func TestWorkloadSpecsResolve(t *testing.T) {
+	s, _ := NewSession(fastConfig())
+	res, err := s.Run([]KernelSpec{
+		{Workload: "sgemm", GoalFrac: 0.3},
+		{Workload: "lbm"},
+	}, SchemeRollover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernels[0].Name != "sgemm" || res.Kernels[1].Name != "lbm" {
+		t.Fatal("workload names not carried through")
+	}
+}
+
+func TestAbsoluteGoalOverridesFraction(t *testing.T) {
+	s, _ := NewSession(fastConfig())
+	res, err := s.Run([]KernelSpec{
+		{Profile: customProfile("a"), GoalFrac: 0.9, GoalIPC: 12.5},
+		{Profile: customProfile("b")},
+	}, SchemeRollover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernels[0].GoalIPC != 12.5 {
+		t.Fatalf("GoalIPC = %v, want the absolute 12.5", res.Kernels[0].GoalIPC)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for s := SchemeNone; s <= SchemeSpart; s++ {
+		if s.String() == "" {
+			t.Fatalf("scheme %d has no name", int(s))
+		}
+	}
+}
+
+func TestIPCGoalForDeadline(t *testing.T) {
+	cfg := config.Base()
+	// 1216 MHz, 1.216e9 instrs in 1 second → IPC goal of exactly 1.
+	goal, err := IPCGoalForDeadline(cfg, 1_216_000_000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goal < 0.999 || goal > 1.001 {
+		t.Fatalf("goal = %v, want 1.0", goal)
+	}
+	if _, err := IPCGoalForDeadline(cfg, 0, 1); err == nil {
+		t.Fatal("accepted zero instructions")
+	}
+	if _, err := IPCGoalForDeadline(cfg, 100, 0); err == nil {
+		t.Fatal("accepted zero deadline")
+	}
+}
+
+func TestPCIeTransferSeconds(t *testing.T) {
+	// 16 GB/s, 16 GB payload → 1 second plus fixed latency.
+	got := PCIeTransferSeconds(16<<30, 16*(1<<30)/1e9, 0.001)
+	if got < 1.0 || got > 1.1 {
+		t.Fatalf("transfer time %v, want ~1s", got)
+	}
+	if PCIeTransferSeconds(0, 16, 0.002) != 0.002 {
+		t.Fatal("zero-byte transfer should cost only fixed latency")
+	}
+}
+
+func TestSchemeFairRunsWithoutGoals(t *testing.T) {
+	s, _ := NewSession(fastConfig())
+	res, err := s.Run([]KernelSpec{
+		{Profile: customProfile("a")},
+		{Profile: customProfile("b")},
+	}, SchemeFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernels[0].IPC <= 0 || res.Kernels[1].IPC <= 0 {
+		t.Fatal("fairness-managed kernels made no progress")
+	}
+	if res.Kernels[0].IsQoS || res.Kernels[1].IsQoS {
+		t.Fatal("fairness run should have no QoS kernels")
+	}
+}

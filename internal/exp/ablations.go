@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+	"repro/internal/workloads"
+)
+
+// sessionLike rebuilds a session with modified QoS options but the same
+// GPU configuration and window (ablations must hold everything else
+// fixed).
+func sessionWith(base *core.Session, opts qos.Options) (*core.Session, error) {
+	return core.NewSession(core.Config{
+		GPU:          base.GPUConfig(),
+		WindowCycles: base.Window(),
+		QoSOptions:   opts,
+	})
+}
+
+// AblateHistory reproduces the Section 4.8 history-adjustment ablation:
+// Rollover with and without the α factor.
+func AblateHistory(st Study) (*Table, error) {
+	on, err := PairSweep(st.Session, st.Pairs, st.Goals, core.SchemeRollover, st.progress("history-on"))
+	if err != nil {
+		return nil, err
+	}
+	noHist, err := sessionWith(st.Session, qos.Options{DisableHistory: true})
+	if err != nil {
+		return nil, err
+	}
+	off, err := PairSweep(noHist, st.Pairs, st.Goals, core.SchemeRollover, st.progress("history-off"))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "Ablation 4.8b", Title: "History-based quota adjustment on/off (Rollover QoSreach)",
+		Header: []string{"Goal", "History on", "History off"}}
+	ron := PairReachByGoal(on, st.Goals)
+	roff := PairReachByGoal(off, st.Goals)
+	for _, g := range st.Goals {
+		t.Rows = append(t.Rows, []string{goalLabel(g), pct(ron[g]), pct(roff[g])})
+	}
+	aOn, aOff := AvgReach(on), AvgReach(off)
+	t.Rows = append(t.Rows, []string{"AVG", pct(aOn), pct(aOff)})
+	if aOff > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("enabling history covers %.1f%% more cases (paper: +86.4%%)",
+			100*(aOn-aOff)/aOff))
+	}
+	return t, nil
+}
+
+// AblateStatic reproduces the Section 4.8 static-resource-management
+// ablation on M+M pairs: non-QoS throughput with and without run-time TB
+// adjustment (paper: +13.3% with).
+func AblateStatic(st Study) (*Table, error) {
+	var mm []workloads.Pair
+	for _, p := range st.Pairs {
+		cls, err := workloads.PairClass(p.QoS, p.NonQoS)
+		if err != nil {
+			return nil, err
+		}
+		if cls == "M+M" {
+			mm = append(mm, p)
+		}
+	}
+	if len(mm) == 0 {
+		return nil, fmt.Errorf("exp: study subset has no M+M pairs")
+	}
+	on, err := PairSweep(st.Session, mm, st.Goals, core.SchemeRollover, st.progress("static-on"))
+	if err != nil {
+		return nil, err
+	}
+	noAdj, err := sessionWith(st.Session, qos.Options{DisableStaticAdjust: true})
+	if err != nil {
+		return nil, err
+	}
+	off, err := PairSweep(noAdj, mm, st.Goals, core.SchemeRollover, st.progress("static-off"))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "Ablation 4.8c", Title: "Static TB adjustment on/off, M+M pairs (non-QoS throughput)",
+		Header: []string{"Goal", "Adjust on", "Adjust off"}}
+	ron := PairNonQoSThroughputByGoal(on, st.Goals)
+	roff := PairNonQoSThroughputByGoal(off, st.Goals)
+	var s0, s1 float64
+	var n int
+	for _, g := range st.Goals {
+		t.Rows = append(t.Rows, []string{goalLabel(g), num(ron[g]), num(roff[g])})
+		if ron[g] > 0 && roff[g] > 0 {
+			s0 += ron[g]
+			s1 += roff[g]
+			n++
+		}
+	}
+	if n > 0 && s1 > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("measured M+M gain from static management: %+.1f%% (paper: +13.3%%)",
+			100*(s0/s1-1)))
+	}
+	return t, nil
+}
+
+// AblatePreemption reproduces the Section 4.8 preemption-overhead study:
+// non-QoS throughput with real context-switch costs vs free preemption
+// (paper: 1.93% overhead).
+func AblatePreemption(st Study) (*Table, error) {
+	withCost, err := PairSweep(st.Session, st.Pairs, st.Goals, core.SchemeRollover, st.progress("preempt-cost"))
+	if err != nil {
+		return nil, err
+	}
+	// Free preemption: rebuild with a zero-cost engine via config.
+	cfg := st.Session.GPUConfig()
+	cfg.CtxSaveBWBytes = 1 << 30 // effectively instantaneous context moves
+	cfg.SMDrainPenalty = 0
+	free, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: st.Session.Window()})
+	if err != nil {
+		return nil, err
+	}
+	noCost, err := PairSweep(free, st.Pairs, st.Goals, core.SchemeRollover, st.progress("preempt-free"))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "Ablation 4.8a", Title: "Preemption overhead on non-QoS throughput (Rollover)",
+		Header: []string{"Goal", "Real cost", "Free"}}
+	rc := PairNonQoSThroughputByGoal(withCost, st.Goals)
+	fr := PairNonQoSThroughputByGoal(noCost, st.Goals)
+	var s0, s1 float64
+	var n int
+	for _, g := range st.Goals {
+		t.Rows = append(t.Rows, []string{goalLabel(g), num(rc[g]), num(fr[g])})
+		if rc[g] > 0 && fr[g] > 0 {
+			s0 += rc[g]
+			s1 += fr[g]
+			n++
+		}
+	}
+	if n > 0 && s1 > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("measured preemption overhead: %.2f%% (paper: 1.93%%)",
+			100*(1-s0/s1)))
+	}
+	return t, nil
+}
+
+// AblateEpochLength sweeps the quota epoch length (the paper fixes 10K
+// cycles citing prior work; this shows the sensitivity).
+func AblateEpochLength(st Study, lengths []int64) (*Table, error) {
+	if len(lengths) == 0 {
+		lengths = []int64{5_000, 10_000, 20_000, 40_000}
+	}
+	t := &Table{ID: "Ablation epoch", Title: "Epoch length sensitivity (Rollover)",
+		Header: []string{"Epoch", "QoSreach", "Non-QoS tput"}}
+	for _, l := range lengths {
+		cfg := st.Session.GPUConfig()
+		cfg.EpochLength = l
+		s, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: st.Session.Window()})
+		if err != nil {
+			return nil, err
+		}
+		cases, err := PairSweep(s, st.Pairs, st.Goals, core.SchemeRollover, st.progress(fmt.Sprintf("epoch-%d", l)))
+		if err != nil {
+			return nil, err
+		}
+		tput := PairNonQoSThroughputByGoal(cases, st.Goals)
+		var sum float64
+		var n int
+		for _, g := range st.Goals {
+			if tput[g] > 0 {
+				sum += tput[g]
+				n++
+			}
+		}
+		avg := 0.0
+		if n > 0 {
+			avg = sum / float64(n)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(l), pct(AvgReach(cases)), num(avg)})
+	}
+	return t, nil
+}
+
+// AblateNonQoSInit sweeps the initial artificial IPC of non-QoS kernels
+// (paper Section 3.5 claims minimal impact on the final outcome).
+func AblateNonQoSInit(st Study, inits []float64) (*Table, error) {
+	if len(inits) == 0 {
+		inits = []float64{1, 8, 32, 128}
+	}
+	t := &Table{ID: "Ablation nq-init", Title: "Non-QoS initial IPC sensitivity (Rollover)",
+		Header: []string{"Init IPC", "QoSreach", "Non-QoS tput"}}
+	for _, init := range inits {
+		s, err := sessionWith(st.Session, qos.Options{NonQoSInitIPC: init})
+		if err != nil {
+			return nil, err
+		}
+		cases, err := PairSweep(s, st.Pairs, st.Goals, core.SchemeRollover, st.progress(fmt.Sprintf("init-%.0f", init)))
+		if err != nil {
+			return nil, err
+		}
+		tput := PairNonQoSThroughputByGoal(cases, st.Goals)
+		var sum float64
+		var n int
+		for _, g := range st.Goals {
+			if tput[g] > 0 {
+				sum += tput[g]
+				n++
+			}
+		}
+		avg := 0.0
+		if n > 0 {
+			avg = sum / float64(n)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%.0f", init), pct(AvgReach(cases)), num(avg)})
+	}
+	return t, nil
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chart renders a Table whose value columns are numeric (plain floats or
+// "NN.N%" percentages) as horizontal ASCII bar groups, one group per row,
+// one bar per series — a terminal rendition of the paper's grouped bar
+// figures. Non-numeric cells render as label-only lines.
+func (t *Table) Chart(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	series := t.Header[1:]
+	// Find the maximum value to scale the bars.
+	max := 0.0
+	for _, row := range t.Rows {
+		for _, cell := range row[1:] {
+			if v, ok := parseCell(cell); ok && v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	labelW := 0
+	for _, row := range t.Rows {
+		if len(row[0]) > labelW {
+			labelW = len(row[0])
+		}
+	}
+	seriesW := 0
+	for _, s := range series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	glyphs := []byte{'#', '=', '*', '+', '~', '-'}
+	for _, row := range t.Rows {
+		for i, cell := range row[1:] {
+			v, ok := parseCell(cell)
+			label := ""
+			if i == 0 {
+				label = row[0]
+			}
+			if !ok {
+				fmt.Fprintf(&b, "%-*s %-*s | %s\n", labelW, label, seriesW, series[i], cell)
+				continue
+			}
+			bar := int(v / max * float64(width))
+			g := glyphs[i%len(glyphs)]
+			fmt.Fprintf(&b, "%-*s %-*s |%s %s\n",
+				labelW, label, seriesW, series[i],
+				strings.Repeat(string(g), bar), strings.TrimSpace(cell))
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// parseCell reads a float from a plain or percent-suffixed cell.
+func parseCell(cell string) (float64, bool) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" || cell == "-" {
+		return 0, false
+	}
+	pct := strings.HasSuffix(cell, "%")
+	cell = strings.TrimSuffix(cell, "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, false
+	}
+	if pct {
+		v /= 100
+	}
+	return v, true
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartTable() *Table {
+	return &Table{
+		ID: "Figure X", Title: "demo",
+		Header: []string{"Goal", "Spart", "Rollover"},
+		Rows: [][]string{
+			{"50%", "80.0%", "90.0%"},
+			{"90%", "40.0%", "60.0%"},
+			{"AVG", "60.0%", "75.0%"},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	out := chartTable().Chart(40)
+	if !strings.Contains(out, "Figure X") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "Spart") || !strings.Contains(out, "Rollover") {
+		t.Fatal("missing series labels")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatal("missing note")
+	}
+	// The largest value (90%) must render the longest bar.
+	lines := strings.Split(out, "\n")
+	longest, value90 := 0, 0
+	for _, l := range lines {
+		n := strings.Count(l, "=") // Rollover uses the second glyph
+		if n > longest {
+			longest = n
+		}
+		if strings.Contains(l, "90.0%") && strings.Contains(l, "Rollover") {
+			value90 = n
+		}
+	}
+	if value90 != longest || longest == 0 {
+		t.Fatalf("90%% bar (%d) is not the longest (%d)", value90, longest)
+	}
+}
+
+func TestChartHandlesNonNumeric(t *testing.T) {
+	tbl := chartTable()
+	tbl.Rows = append(tbl.Rows, []string{"odd", "-", "n/a"})
+	out := tbl.Chart(30)
+	if !strings.Contains(out, "n/a") {
+		t.Fatal("non-numeric cell dropped")
+	}
+}
+
+func TestChartMinWidth(t *testing.T) {
+	if out := chartTable().Chart(1); out == "" {
+		t.Fatal("degenerate width produced nothing")
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"42.5", 42.5, true},
+		{"80.0%", 0.8, true},
+		{" 1.5 ", 1.5, true},
+		{"-", 0, false},
+		{"", 0, false},
+		{"abc", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseCell(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseCell(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package exp is the experiment harness: it re-runs the paper's
+// evaluation (Section 4) on the simulator and reduces raw co-run results
+// into the quantities each figure reports — QoSreach, normalized non-QoS
+// throughput, QoS overshoot, miss histograms and energy efficiency.
+//
+// Every figure of the paper has a driver in figures.go returning a Table
+// that cmd/qossim prints. Sweeps are deterministic; a Config controls the
+// subset of pairs/trios/goals so benchmarks can run reduced versions of
+// the full 900/600-case studies.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Goals returns the paper's QoS-goal sweep: 50%..95% in 5% steps.
+func Goals() []float64 {
+	out := make([]float64, 0, 10)
+	for g := 0.50; g < 0.951; g += 0.05 {
+		out = append(out, g)
+	}
+	return out
+}
+
+// TwoQoSGoals returns the Figure 6c sweep: (25%,25%)..(70%,70%).
+func TwoQoSGoals() []float64 {
+	out := make([]float64, 0, 10)
+	for g := 0.25; g < 0.701; g += 0.05 {
+		out = append(out, g)
+	}
+	return out
+}
+
+// PairCase is one (pair, goal, scheme) run outcome.
+type PairCase struct {
+	Pair   workloads.Pair
+	Goal   float64
+	Scheme core.Scheme
+	Res    *core.Result
+}
+
+// QoSKernel returns the QoS kernel's result.
+func (c PairCase) QoSKernel() core.KernelResult { return c.Res.Kernels[0] }
+
+// NonQoSKernel returns the non-QoS kernel's result.
+func (c PairCase) NonQoSKernel() core.KernelResult { return c.Res.Kernels[1] }
+
+// PairSweep runs every pair at every goal under the scheme. Progress (if
+// non-nil) is invoked after each case for long-run visibility.
+func PairSweep(s *core.Session, pairs []workloads.Pair, goals []float64, scheme core.Scheme, progress func(done, total int)) ([]PairCase, error) {
+	out := make([]PairCase, 0, len(pairs)*len(goals))
+	total := len(pairs) * len(goals)
+	for _, p := range pairs {
+		for _, g := range goals {
+			res, err := s.Run([]core.KernelSpec{
+				{Workload: p.QoS, GoalFrac: g},
+				{Workload: p.NonQoS},
+			}, scheme)
+			if err != nil {
+				return nil, fmt.Errorf("pair %s+%s @%.2f: %w", p.QoS, p.NonQoS, g, err)
+			}
+			out = append(out, PairCase{Pair: p, Goal: g, Scheme: scheme, Res: res})
+			if progress != nil {
+				progress(len(out), total)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TrioCase is one trio run outcome. QoSGoals lists the goal fraction per
+// QoS kernel (the first len(QoSGoals) members carry goals).
+type TrioCase struct {
+	Trio     workloads.Trio
+	QoSGoals []float64
+	Scheme   core.Scheme
+	Res      *core.Result
+}
+
+// TrioSweep runs every trio at every goal with nQoS QoS kernels (1 or 2).
+// For nQoS==1 the goal applies to the trio's first member; for nQoS==2
+// the same goal applies to the first two (the paper's 2x25%..2x70%).
+func TrioSweep(s *core.Session, trios []workloads.Trio, goals []float64, nQoS int, scheme core.Scheme, progress func(done, total int)) ([]TrioCase, error) {
+	if nQoS < 1 || nQoS > 2 {
+		return nil, fmt.Errorf("exp: nQoS must be 1 or 2, got %d", nQoS)
+	}
+	out := make([]TrioCase, 0, len(trios)*len(goals))
+	total := len(trios) * len(goals)
+	for _, t := range trios {
+		for _, g := range goals {
+			specs := []core.KernelSpec{
+				{Workload: t.A, GoalFrac: g},
+				{Workload: t.B},
+				{Workload: t.C},
+			}
+			qg := []float64{g}
+			if nQoS == 2 {
+				specs[1].GoalFrac = g
+				qg = []float64{g, g}
+			}
+			res, err := s.Run(specs, scheme)
+			if err != nil {
+				return nil, fmt.Errorf("trio %s+%s+%s @%.2f: %w", t.A, t.B, t.C, g, err)
+			}
+			out = append(out, TrioCase{Trio: t, QoSGoals: qg, Scheme: scheme, Res: res})
+			if progress != nil {
+				progress(len(out), total)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---- reducers ----
+
+// QoSReach returns the fraction of cases whose QoS goals were all met.
+func QoSReach(ok func(i int) bool, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if ok(i) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// PairReachByGoal buckets pair QoSreach per goal value.
+func PairReachByGoal(cases []PairCase, goals []float64) map[float64]float64 {
+	out := make(map[float64]float64, len(goals))
+	for _, g := range goals {
+		sub := filterPairs(cases, g)
+		out[g] = QoSReach(func(i int) bool { return sub[i].Res.AllReached }, len(sub))
+	}
+	return out
+}
+
+// PairNonQoSThroughputByGoal averages the non-QoS kernel's normalized
+// throughput per goal, counting only cases that met the QoS goal — the
+// paper's Figure 8 methodology ("we only include the results from the
+// cases that meet the QoS goals").
+func PairNonQoSThroughputByGoal(cases []PairCase, goals []float64) map[float64]float64 {
+	out := make(map[float64]float64, len(goals))
+	for _, g := range goals {
+		sum, n := 0.0, 0
+		for _, c := range filterPairs(cases, g) {
+			if !c.Res.AllReached {
+				continue
+			}
+			sum += c.NonQoSKernel().NormThroughput
+			n++
+		}
+		if n > 0 {
+			out[g] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// PairOvershootByGoal averages QoS-kernel throughput normalized to the
+// goal (Figure 9), over successful cases.
+func PairOvershootByGoal(cases []PairCase, goals []float64) map[float64]float64 {
+	out := make(map[float64]float64, len(goals))
+	for _, g := range goals {
+		sum, n := 0.0, 0
+		for _, c := range filterPairs(cases, g) {
+			if !c.Res.AllReached {
+				continue
+			}
+			sum += c.QoSKernel().GoalRatio
+			n++
+		}
+		if n > 0 {
+			out[g] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// MissBuckets is the Figure 5 histogram: how far failed cases missed the
+// goal, bucketed as 0-1%, 1-5%, 5-10%, 10-20% and 20+%.
+type MissBuckets struct {
+	Counts    [5]int
+	Total     int // all cases
+	Failures  int
+	Successes int
+	// MeanOvershoot is the average GoalRatio-1 over successes (the
+	// paper reports +1.3% for Naive+History).
+	MeanOvershoot float64
+}
+
+// BucketLabels returns the figure's x-axis labels.
+func BucketLabels() [5]string {
+	return [5]string{"0-1%", "1-5%", "5-10%", "10-20%", "20+%"}
+}
+
+// Misses computes the Figure 5 histogram over pair cases.
+func Misses(cases []PairCase) MissBuckets {
+	var b MissBuckets
+	var overshootSum float64
+	for _, c := range cases {
+		b.Total++
+		q := c.QoSKernel()
+		if q.Reached {
+			b.Successes++
+			overshootSum += q.GoalRatio - 1
+			continue
+		}
+		b.Failures++
+		miss := 1 - q.GoalRatio
+		switch {
+		case miss < 0.01:
+			b.Counts[0]++
+		case miss < 0.05:
+			b.Counts[1]++
+		case miss < 0.10:
+			b.Counts[2]++
+		case miss < 0.20:
+			b.Counts[3]++
+		default:
+			b.Counts[4]++
+		}
+	}
+	if b.Successes > 0 {
+		b.MeanOvershoot = overshootSum / float64(b.Successes)
+	}
+	return b
+}
+
+// TrioReachByGoal buckets trio QoSreach per goal value.
+func TrioReachByGoal(cases []TrioCase, goals []float64) map[float64]float64 {
+	out := make(map[float64]float64, len(goals))
+	for _, g := range goals {
+		sub := filterTrios(cases, g)
+		out[g] = QoSReach(func(i int) bool { return sub[i].Res.AllReached }, len(sub))
+	}
+	return out
+}
+
+// TrioNonQoSThroughputByGoal averages normalized throughput of the trio's
+// non-QoS kernels over successful cases.
+func TrioNonQoSThroughputByGoal(cases []TrioCase, goals []float64) map[float64]float64 {
+	out := make(map[float64]float64, len(goals))
+	for _, g := range goals {
+		sum, n := 0.0, 0
+		for _, c := range filterTrios(cases, g) {
+			if !c.Res.AllReached {
+				continue
+			}
+			for _, k := range c.Res.Kernels {
+				if !k.IsQoS {
+					sum += k.NormThroughput
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			out[g] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// ReachByQoSKernel computes per-benchmark QoSreach (Figure 7) plus the
+// C+C / C+M / M+M class summaries.
+func ReachByQoSKernel(cases []PairCase) (perKernel map[string]float64, perClass map[string]float64, err error) {
+	hits := make(map[string]int)
+	tot := make(map[string]int)
+	clsHits := make(map[string]int)
+	clsTot := make(map[string]int)
+	for _, c := range cases {
+		tot[c.Pair.QoS]++
+		cls, cerr := workloads.PairClass(c.Pair.QoS, c.Pair.NonQoS)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		clsTot[cls]++
+		if c.Res.AllReached {
+			hits[c.Pair.QoS]++
+			clsHits[cls]++
+		}
+	}
+	perKernel = make(map[string]float64, len(tot))
+	for k, t := range tot {
+		perKernel[k] = float64(hits[k]) / float64(t)
+	}
+	perClass = make(map[string]float64, len(clsTot))
+	for k, t := range clsTot {
+		perClass[k] = float64(clsHits[k]) / float64(t)
+	}
+	return perKernel, perClass, nil
+}
+
+// AvgReach averages QoSreach over all cases.
+func AvgReach(cases []PairCase) float64 {
+	return QoSReach(func(i int) bool { return cases[i].Res.AllReached }, len(cases))
+}
+
+// AvgTrioReach averages QoSreach over all trio cases.
+func AvgTrioReach(cases []TrioCase) float64 {
+	return QoSReach(func(i int) bool { return cases[i].Res.AllReached }, len(cases))
+}
+
+// InstrPerWattByGoal averages instructions/watt per goal over successful
+// cases (Figure 14 compares schemes on this).
+func InstrPerWattByGoal(cases []PairCase, goals []float64) map[float64]float64 {
+	out := make(map[float64]float64, len(goals))
+	for _, g := range goals {
+		sum, n := 0.0, 0
+		for _, c := range filterPairs(cases, g) {
+			if !c.Res.AllReached {
+				continue
+			}
+			sum += c.Res.Power.InstrPerWatt
+			n++
+		}
+		if n > 0 {
+			out[g] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+func filterPairs(cases []PairCase, goal float64) []PairCase {
+	var out []PairCase
+	for _, c := range cases {
+		if c.Goal == goal {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func filterTrios(cases []TrioCase, goal float64) []TrioCase {
+	var out []TrioCase
+	for _, c := range cases {
+		if c.QoSGoals[0] == goal {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package gpu
+
+import "repro/internal/metrics"
+
+// Run advances the GPU for the given number of cycles, driving the TB
+// scheduler, the SMs, idle-warp sampling and the controller hooks. It can
+// be called repeatedly to extend a simulation.
+func (g *GPU) Run(cycles int64) {
+	end := g.Now + cycles
+	sampleEvery := g.Cfg.EpochLength / int64(g.Cfg.IdleWarpSamples)
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	for ; g.Now < end; g.Now++ {
+		now := g.Now
+		// The TB scheduler runs when work completed or controllers
+		// changed allocation; the periodic fallback picks up launch
+		// gates and context-restore completions.
+		if g.needDispatch || now%64 == 0 {
+			g.dispatch(now)
+		}
+		// Rotate the SM service order every cycle: memory backpressure is
+		// evaluated at issue time, so a fixed order would hand the
+		// whole under-cap admission budget to the lowest-numbered SMs
+		// every cycle and starve the rest.
+		n := len(g.SMs)
+		start := int(now) % n
+		for i := 0; i < n; i++ {
+			g.SMs[(start+i)%n].Cycle(now)
+		}
+		if g.controller != nil {
+			g.controller.OnCycle(now)
+		}
+		if now%sampleEvery == 0 {
+			for _, s := range g.SMs {
+				s.SampleIdleWarps(now, g.idleAcc[s.ID])
+			}
+			g.idleSamples++
+		}
+		if now > 0 && now%g.Cfg.EpochLength == 0 {
+			g.rollEpoch(now)
+		}
+	}
+}
+
+// rollEpoch snapshots per-kernel epoch counters, records them, and fires
+// the controller's epoch hook.
+func (g *GPU) rollEpoch(now int64) {
+	g.epochIdx++
+	for slot, st := range g.Stats {
+		instrs := st.BeginEpoch()
+		g.Rec.Add(slot, metrics.EpochRecord{
+			Epoch:    g.epochIdx,
+			EndCycle: now,
+			Instrs:   instrs,
+			TBsHeld:  g.TotalResidentTBs(slot),
+		})
+	}
+	if g.controller != nil {
+		g.controller.OnEpoch(now)
+	}
+}
+
+// IdleWarpAverages returns the mean sampled idle-warp count per SM and
+// kernel slot since the last call, then resets the accumulators. The
+// static resource manager consumes this once per epoch (Section 3.6).
+func (g *GPU) IdleWarpAverages() [][]float64 {
+	out := make([][]float64, len(g.idleAcc))
+	for i := range g.idleAcc {
+		out[i] = make([]float64, len(g.idleAcc[i]))
+		for j, v := range g.idleAcc[i] {
+			if g.idleSamples > 0 {
+				out[i][j] = float64(v) / float64(g.idleSamples)
+			}
+			g.idleAcc[i][j] = 0
+		}
+	}
+	g.idleSamples = 0
+	return out
+}
+
+// IPC returns kernel slot's cumulative thread-IPC so far.
+func (g *GPU) IPC(slot int) float64 { return g.Stats[slot].IPC(g.Now) }
+
+// TotalThreadInstrs sums executed thread instructions across kernels.
+func (g *GPU) TotalThreadInstrs() int64 {
+	var sum int64
+	for _, st := range g.Stats {
+		sum += st.ThreadInstrs
+	}
+	return sum
+}
+
+// CheckInvariants validates cross-SM accounting; tests call this after
+// runs. It returns "" when healthy.
+func (g *GPU) CheckInvariants() string {
+	for slot := range g.Kernels {
+		resident := g.TotalResidentTBs(slot)
+		if resident != g.outstanding[slot] {
+			return "outstanding TB accounting mismatch"
+		}
+	}
+	for _, s := range g.SMs {
+		if msg := s.CheckInvariants(); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}

@@ -1,0 +1,119 @@
+// Package metrics collects per-kernel execution statistics: cumulative
+// thread-instruction counts, per-epoch IPC, memory traffic and TB
+// lifecycle events. The QoS manager (internal/qos), the Spart controller
+// (internal/spart) and the experiment harness (internal/exp) all read
+// these counters; they are the "profiling data" arrow in the paper's
+// Figure 3.
+package metrics
+
+import "fmt"
+
+// KernelStats accumulates one kernel's counters over a simulation.
+type KernelStats struct {
+	// ThreadInstrs counts executed thread instructions (<=32 per warp
+	// instruction; inactive lanes don't count), the unit of the paper's
+	// IPC goals and quotas.
+	ThreadInstrs int64
+	// WarpInstrs counts issued warp instructions.
+	WarpInstrs int64
+	// Instruction-class breakdown for the power model.
+	ALUInstrs    int64
+	SFUInstrs    int64
+	SharedInstrs int64
+	GlobalLoads  int64
+	GlobalStores int64
+	Barriers     int64
+	Branches     int64
+
+	// Memory behaviour.
+	L1Accesses int64
+	L1Misses   int64
+	MemTxns    int64 // post-coalescing 128B transactions
+
+	// TB lifecycle.
+	TBsDispatched int64
+	TBsCompleted  int64
+	TBsPreempted  int64
+	Launches      int64 // kernel (re-)launches, paper Section 4.1
+
+	// Quota interaction (dynamic-resource management visibility).
+	ThrottledCycles int64 // scheduler slots denied by the quota gate
+	IdleWarpSamples int64 // accumulated idle-warp counts (static mgmt)
+
+	// Epoch bookkeeping maintained by the GPU loop.
+	EpochStartInstrs int64 // ThreadInstrs at the top of the epoch
+	LastEpochInstrs  int64 // instructions executed in the previous epoch
+	StartCycle       int64 // first cycle the kernel was resident
+}
+
+// IPC returns the kernel's cumulative thread-IPC over elapsed cycles.
+func (k *KernelStats) IPC(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(k.ThreadInstrs) / float64(cycles)
+}
+
+// BeginEpoch snapshots the counters at an epoch boundary and returns the
+// instruction count of the epoch that just ended.
+func (k *KernelStats) BeginEpoch() int64 {
+	k.LastEpochInstrs = k.ThreadInstrs - k.EpochStartInstrs
+	k.EpochStartInstrs = k.ThreadInstrs
+	return k.LastEpochInstrs
+}
+
+// L1MissRate returns the kernel's L1 miss ratio.
+func (k *KernelStats) L1MissRate() float64 {
+	if k.L1Accesses == 0 {
+		return 0
+	}
+	return float64(k.L1Misses) / float64(k.L1Accesses)
+}
+
+// String summarizes the stats.
+func (k *KernelStats) String() string {
+	return fmt.Sprintf("instrs:%d warps:%d l1miss:%.1f%% txns:%d tb:%d/%d",
+		k.ThreadInstrs, k.WarpInstrs, 100*k.L1MissRate(), k.MemTxns,
+		k.TBsCompleted, k.TBsDispatched)
+}
+
+// EpochRecord captures one kernel's view of one epoch, retained by the
+// Recorder for post-run analysis (Figure 5 style histograms need the
+// whole trajectory, not just the final IPC).
+type EpochRecord struct {
+	Epoch    int
+	EndCycle int64
+	Instrs   int64   // thread instructions executed during the epoch
+	Quota    float64 // quota allocated at the top of the epoch (0: none)
+	Alpha    float64 // history adjustment factor in force
+	TBsHeld  int     // resident TBs at the end of the epoch
+}
+
+// Recorder retains per-kernel epoch trajectories.
+type Recorder struct {
+	ByKernel [][]EpochRecord
+}
+
+// NewRecorder creates a recorder for n kernels.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{ByKernel: make([][]EpochRecord, n)}
+}
+
+// Add appends an epoch record for kernel k.
+func (r *Recorder) Add(k int, rec EpochRecord) {
+	r.ByKernel[k] = append(r.ByKernel[k], rec)
+}
+
+// MeanEpochInstrs returns the mean per-epoch instruction count of kernel
+// k, or 0 if no epochs were recorded.
+func (r *Recorder) MeanEpochInstrs(k int) float64 {
+	recs := r.ByKernel[k]
+	if len(recs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, rec := range recs {
+		sum += rec.Instrs
+	}
+	return float64(sum) / float64(len(recs))
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import "testing"
+
+func TestIPC(t *testing.T) {
+	k := &KernelStats{ThreadInstrs: 3200}
+	if got := k.IPC(100); got != 32 {
+		t.Fatalf("IPC = %v, want 32", got)
+	}
+	if k.IPC(0) != 0 {
+		t.Fatal("IPC with zero cycles should be 0")
+	}
+}
+
+func TestBeginEpoch(t *testing.T) {
+	k := &KernelStats{}
+	k.ThreadInstrs = 100
+	if got := k.BeginEpoch(); got != 100 {
+		t.Fatalf("first epoch instrs = %d, want 100", got)
+	}
+	k.ThreadInstrs = 250
+	if got := k.BeginEpoch(); got != 150 {
+		t.Fatalf("second epoch instrs = %d, want 150", got)
+	}
+	if k.LastEpochInstrs != 150 {
+		t.Fatalf("LastEpochInstrs = %d", k.LastEpochInstrs)
+	}
+	// An idle epoch reports zero.
+	if got := k.BeginEpoch(); got != 0 {
+		t.Fatalf("idle epoch instrs = %d, want 0", got)
+	}
+}
+
+func TestL1MissRate(t *testing.T) {
+	k := &KernelStats{L1Accesses: 10, L1Misses: 3}
+	if got := k.L1MissRate(); got != 0.3 {
+		t.Fatalf("miss rate %v", got)
+	}
+	if (&KernelStats{}).L1MissRate() != 0 {
+		t.Fatal("zero-access miss rate should be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	k := &KernelStats{ThreadInstrs: 5}
+	if k.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(2)
+	r.Add(0, EpochRecord{Epoch: 1, Instrs: 10})
+	r.Add(0, EpochRecord{Epoch: 2, Instrs: 30})
+	r.Add(1, EpochRecord{Epoch: 1, Instrs: 7})
+	if got := r.MeanEpochInstrs(0); got != 20 {
+		t.Fatalf("mean = %v, want 20", got)
+	}
+	if got := r.MeanEpochInstrs(1); got != 7 {
+		t.Fatalf("mean = %v, want 7", got)
+	}
+	if len(r.ByKernel[0]) != 2 {
+		t.Fatal("records not retained")
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder(1)
+	if r.MeanEpochInstrs(0) != 0 {
+		t.Fatal("empty recorder mean should be 0")
+	}
+}

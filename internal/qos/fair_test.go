@@ -1,0 +1,89 @@
+package qos
+
+import (
+	"testing"
+
+	"repro/internal/kern"
+)
+
+// memSmallProfile is a memory-leaning variant of the test kernel, so a
+// fairness test has genuinely asymmetric sharers.
+func memSmallProfile(name string) kern.Profile {
+	p := smallProfile(name)
+	p.Class = kern.ClassMemory
+	p.FracGlobalMem = 0.35
+	p.CoalesceDegree = 3
+	p.ReuseFrac = 0.1
+	return p
+}
+
+func isolatedOf(t *testing.T, p kern.Profile, cycles int64) float64 {
+	t.Helper()
+	g := newGPUFromProfiles(t, p)
+	g.Run(cycles)
+	return g.IPC(0)
+}
+
+func TestFairValidation(t *testing.T) {
+	g := newGPU(t, "a", "b")
+	if _, err := NewFair(g, []float64{100}, Options{}); err == nil {
+		t.Fatal("accepted wrong isolated length")
+	}
+	if _, err := NewFair(g, []float64{100, 0}, Options{}); err == nil {
+		t.Fatal("accepted non-positive isolated IPC")
+	}
+}
+
+func TestFairNarrowsProgressGap(t *testing.T) {
+	pa, pb := smallProfile("a"), memSmallProfile("b")
+	isoA := isolatedOf(t, pa, 60_000)
+	isoB := isolatedOf(t, pb, 60_000)
+
+	// Unmanaged sharing: measure the normalized-progress spread.
+	g1 := newGPUFromProfiles(t, pa, pb)
+	g1.Run(60_000)
+	unmanaged := spread(g1.IPC(0)/isoA, g1.IPC(1)/isoB)
+
+	// Fairness-managed sharing.
+	g2 := newGPUFromProfiles(t, pa, pb)
+	f, err := NewFair(g2, []float64{isoA, isoB}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Install()
+	g2.Run(60_000)
+	managed := f.Unfairness(g2.Now)
+
+	if managed >= unmanaged {
+		t.Fatalf("fairness controller did not narrow the gap: %.3f -> %.3f", unmanaged, managed)
+	}
+	// Both kernels must still make progress.
+	if g2.IPC(0) <= 0 || g2.IPC(1) <= 0 {
+		t.Fatal("a kernel starved under fairness management")
+	}
+}
+
+func TestFairUnfairnessMetric(t *testing.T) {
+	pa, pb := smallProfile("a"), smallProfile("b")
+	isoA := isolatedOf(t, pa, 120_000)
+	g := newGPUFromProfiles(t, pa, pb)
+	f, err := NewFair(g, []float64{isoA, isoA}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Install()
+	g.Run(120_000)
+	// Identical kernels with identical isolated IPCs: the cumulative
+	// normalized-progress spread must shrink to noise once the
+	// controller has had a dozen epochs to ratchet.
+	if got := f.Unfairness(g.Now); got > 0.15 {
+		t.Fatalf("identical sharers diverge by %.3f", got)
+	}
+}
+
+func spread(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,100 @@
+package qos
+
+import "repro/internal/gpu"
+
+// SetupFineGrained applies the initial TB allocation for fine-grained
+// sharing (Section 3.6):
+//
+//   - QoS kernels are distributed to every SM;
+//   - non-QoS kernels split the SMs into equal partitions, one kernel per
+//     partition (having too many kernels per SM is not beneficial);
+//   - within an SM, resident kernels receive thread budgets weighted by
+//     their QoS goals, expressed as per-kernel TB caps.
+//
+// fracs[i] is kernel i's goal as a fraction of its isolated IPC (0 for
+// non-QoS kernels). The paper starts from an equal split and lets the
+// run-time adjuster converge; with our shorter measurement windows the
+// ramp would dominate, so the initial budget uses the same goal
+// information the spatial baseline's seeded partition gets (both
+// managers receive goals when the kernel is dispatched, Section 3.2).
+// Pass nil fracs for the equal split. The caps are a starting point; the
+// run-time adjuster moves them.
+func SetupFineGrained(g *gpu.GPU, goals, fracs []float64) {
+	n := len(g.Kernels)
+	isQoS := make([]bool, n)
+	var nonQoS []int
+	for slot, goal := range goals {
+		isQoS[slot] = goal > 0
+		if goal <= 0 {
+			nonQoS = append(nonQoS, slot)
+		}
+	}
+
+	numSMs := g.Cfg.NumSMs
+	// Owner of each SM among non-QoS kernels (-1: none).
+	nqOwner := make([]int, numSMs)
+	for i := range nqOwner {
+		nqOwner[i] = -1
+	}
+	if len(nonQoS) > 0 {
+		per := numSMs / len(nonQoS)
+		if per == 0 {
+			per = 1
+		}
+		for i := 0; i < numSMs; i++ {
+			idx := i / per
+			if idx >= len(nonQoS) {
+				idx = len(nonQoS) - 1
+			}
+			nqOwner[i] = nonQoS[idx]
+		}
+	}
+
+	for slot := range g.Kernels {
+		mask := make([]bool, numSMs)
+		for i := 0; i < numSMs; i++ {
+			mask[i] = isQoS[slot] || nqOwner[i] == slot
+		}
+		g.SetMask(slot, mask)
+	}
+
+	for i, s := range g.SMs {
+		// Thread-budget weights of the kernels resident on this SM.
+		weights := make([]float64, n)
+		sum := 0.0
+		for slot := range g.Kernels {
+			if !(isQoS[slot] || nqOwner[i] == slot) {
+				continue
+			}
+			w := 1.0
+			if fracs != nil {
+				if isQoS[slot] {
+					w = fracs[slot]
+					if w < 0.15 {
+						w = 0.15
+					}
+				} else {
+					w = 0.25 // non-QoS starts small; the search grows it
+				}
+			}
+			weights[slot] = w
+			sum += w
+		}
+		if sum == 0 {
+			continue
+		}
+		for slot, k := range g.Kernels {
+			if weights[slot] == 0 {
+				s.SetTBCap(slot, 0)
+				continue
+			}
+			budget := int(float64(g.Cfg.MaxThreadsPerSM) * weights[slot] / sum)
+			cap := budget / k.Profile.ThreadsPerTB
+			if cap < 1 {
+				cap = 1
+			}
+			s.SetTBCap(slot, cap)
+		}
+	}
+	g.RequestDispatch()
+}

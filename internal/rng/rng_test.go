@@ -1,0 +1,144 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical values", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(99)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(11)
+	before := parent.state
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	if parent.state != before {
+		t.Fatal("Fork advanced the parent stream")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked streams with distinct ids start identically")
+	}
+	// Forking again with the same id reproduces the same child stream.
+	if parent.Fork(1).Uint64() != New(Mix(11, 1)).Uint64() {
+		t.Fatal("Fork is not a pure function of (seed, stream)")
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Hash64(0x1234_5678_9abc_def0)
+	flipped := Hash64(0x1234_5678_9abc_def1)
+	diff := base ^ flipped
+	bits := 0
+	for ; diff != 0; diff &= diff - 1 {
+		bits++
+	}
+	if bits < 16 || bits > 48 {
+		t.Fatalf("Hash64 avalanche too weak: %d differing bits", bits)
+	}
+}
+
+func TestMixCommutesNowhere(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix(1,2) == Mix(2,1): ordering information lost")
+	}
+}
+
+func TestQuickUint64NoShortCycles(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		first := s.Uint64()
+		for i := 0; i < 64; i++ {
+			if s.Uint64() == first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%100) + 1
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			if v := s.Intn(m); v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,450 @@
+package sm
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// Cycle advances the SM by one cycle: retire completed load misses, then
+// let each warp scheduler issue at most one warp instruction under GTO
+// with the quota gate applied.
+func (s *SM) Cycle(now int64) {
+	if now < s.BlockedUntil {
+		return
+	}
+	// Release MSHRs whose misses completed and transaction credits
+	// whose requests drained.
+	for s.outstanding > 0 && s.missHeap[0] <= now {
+		s.popMiss()
+	}
+	for slot := range s.txnHeap {
+		for s.txnFlight[slot] > 0 && s.txnHeap[slot][0] <= now {
+			popHeap(&s.txnHeap[slot])
+			s.txnFlight[slot]--
+			s.txnTotal--
+		}
+	}
+	s.memIssues = 0
+	for slot := range s.kernels {
+		ok := s.gate == nil || s.gate.CanIssue(s.ID, slot)
+		s.gateOK[slot] = ok
+		if !ok && s.kernels[slot].tbs > 0 {
+			s.kernels[slot].stats.ThrottledCycles++
+		}
+	}
+
+	issued := false
+	for i := range s.scheds {
+		sch := &s.scheds[i]
+		if now < sch.nextWake {
+			continue
+		}
+		if w := s.pick(now, sch); w != nil {
+			s.issue(now, sch, w)
+			issued = true
+		}
+	}
+	if issued {
+		s.ActiveCycles++
+	}
+}
+
+// pick implements GTO: greedily reuse the last issued warp while it is
+// issuable, otherwise take the oldest issuable warp. When nothing is
+// issuable it computes the earliest cycle worth rescanning.
+func (s *SM) pick(now int64, sch *scheduler) *Warp {
+	// Greedy reuse applies to compute instructions only: letting the
+	// last-issued warp snatch scarce memory-side resources (ports,
+	// MSHRs, transaction credits) ahead of older warps starves sparse
+	// memory requesters behind a streaming kernel indefinitely. Memory
+	// instructions always arbitrate age-ordered.
+	if w := sch.last; w != nil && !w.done && !w.atBarrier && w.readyAt <= now &&
+		!w.body[w.pc].Op.IsGlobalMem() && s.issuable(now, w) {
+		return w
+	}
+	var best *Warp
+	next := int64(1) << 62
+	sawStructural := false
+	sawGated := false
+	dead := 0
+	for _, w := range sch.warps {
+		if w.done {
+			dead++
+			continue
+		}
+		if w.atBarrier {
+			continue // woken explicitly by barrier release
+		}
+		if w.readyAt > now {
+			if w.readyAt < next {
+				next = w.readyAt
+			}
+			continue
+		}
+		if !s.gateOK[w.slot] {
+			// Quota throttling clears only on a quota event, and every
+			// quota event wakes the SM; no need to re-poll each cycle.
+			sawGated = true
+			continue
+		}
+		if !s.structuralOK(w.slot, &w.body[w.pc]) {
+			sawStructural = true
+			continue
+		}
+		best = w
+		break // warps are stored oldest-first
+	}
+	sch.deadCnt = dead
+	if dead > 16 && dead > len(sch.warps)/2 {
+		s.compact(sch)
+	}
+	if best == nil {
+		switch {
+		case sawStructural:
+			s.StallStructural++
+			// Port/MSHR/backpressure stalls can clear any cycle.
+			sch.nextWake = now + 1
+		case sawGated:
+			s.StallGate++
+			sch.nextWake = next
+		default:
+			s.StallWaiting++
+			sch.nextWake = next
+		}
+	}
+	return best
+}
+
+// issuable applies the quota gate and structural (LD/ST port, MSHR,
+// memory backpressure) constraints to a ready warp.
+func (s *SM) issuable(now int64, w *Warp) bool {
+	return s.gateOK[w.slot] && s.structuralOK(w.slot, &w.body[w.pc])
+}
+
+// structuralOK checks the per-cycle structural constraints for the warp's
+// next instruction.
+func (s *SM) structuralOK(slot int, in *isa.Instr) bool {
+	if in.Op.IsGlobalMem() {
+		if s.memIssues >= s.cfg.MemPortsPerSM {
+			s.BlockPort++
+			return false
+		}
+		if in.Op == isa.OpLdGlobal && s.outstanding >= s.cfg.MSHRsPerSM {
+			s.BlockMSHR++
+			return false
+		}
+		// Credit-based flow control with a guaranteed minimum per
+		// resident kernel: a kernel past its guaranteed share may
+		// still borrow while the SM's total budget has slack (work
+		// conserving), but under full contention every kernel keeps
+		// its share — a streaming kernel can neither starve a
+		// co-resident kernel nor strand credits it does not use.
+		if s.txnFlight[slot] >= s.txnCap() && s.txnTotal >= s.cfg.TxnFlightCapPerSM {
+			s.BlockCredit++
+			return false
+		}
+	}
+	return true
+}
+
+// issue executes one warp instruction of w at time now.
+func (s *SM) issue(now int64, sch *scheduler, w *Warp) {
+	in := &w.body[w.pc]
+	lanes := w.activeLanes
+	st := s.kernels[w.slot].stats
+	st.WarpInstrs++
+	st.ThreadInstrs += int64(lanes)
+	s.IssuedWarpInstrs++
+	if s.gate != nil {
+		s.gate.OnIssue(s.ID, w.slot, lanes)
+	}
+	sch.last = w
+
+	switch in.Op {
+	case isa.OpIAlu, isa.OpFAlu:
+		st.ALUInstrs++
+		s.finishCompute(now, w, s.cfg.ALULatency)
+	case isa.OpSFU:
+		st.SFUInstrs++
+		s.finishCompute(now, w, s.cfg.SFULatency)
+	case isa.OpLdShared, isa.OpStShared:
+		st.SharedInstrs++
+		s.finishCompute(now, w, s.cfg.SharedMemLat)
+	case isa.OpBranch:
+		st.Branches++
+		if in.Divergent {
+			// Divergence idles a deterministic per-warp fraction of
+			// lanes until reconvergence at the loop back-edge.
+			w.divState = rng.Hash64(w.divState)
+			u := float64(w.divState>>11) / (1 << 53) // [0,1)
+			frac := w.kernel.Profile.DivergenceFrac * 2 * u
+			drop := int(frac * float64(s.cfg.WarpSize))
+			if drop >= w.activeLanes {
+				drop = w.activeLanes - 1
+			}
+			if drop > 0 {
+				w.activeLanes -= drop
+			}
+		}
+		s.finishCompute(now, w, s.cfg.ALULatency)
+	case isa.OpBarrier:
+		st.Barriers++
+		w.atBarrier = true
+		w.tb.BarrierWait++
+		if w.tb.BarrierWait == w.tb.LiveWarps {
+			s.releaseBarrier(now, w.tb)
+		}
+		sch.last = nil
+	case isa.OpLdGlobal:
+		st.GlobalLoads++
+		s.memIssues++
+		done := s.globalAccess(now, w, in, lanes, mem.Read)
+		if s.nextDepends(w) {
+			w.readyAt = done
+		} else {
+			// Hit-under-miss: the warp keeps going; the MSHR is held
+			// until the data returns.
+			w.readyAt = now + s.cfg.IssueBackoff
+		}
+		s.advance(now, w)
+	case isa.OpStGlobal:
+		st.GlobalStores++
+		s.memIssues++
+		s.globalAccess(now, w, in, lanes, mem.Write)
+		w.readyAt = now + s.cfg.WriteLatency // posted
+		s.advance(now, w)
+	}
+}
+
+// finishCompute applies result latency: the warp stalls for the full
+// latency only if the next instruction consumes this result; otherwise it
+// can re-issue after the pipeline backoff.
+func (s *SM) finishCompute(now int64, w *Warp, lat int64) {
+	if s.nextDepends(w) {
+		w.readyAt = now + lat
+	} else {
+		w.readyAt = now + s.cfg.IssueBackoff
+	}
+	s.advance(now, w)
+}
+
+// nextDepends reports whether the instruction after w.pc depends on the
+// current one (wrapping across the loop back-edge).
+func (s *SM) nextDepends(w *Warp) bool {
+	if w.pc+1 < len(w.body) {
+		return w.body[w.pc+1].DependsOnPrev
+	}
+	if w.iter+1 >= w.kernel.Profile.Iterations {
+		return false
+	}
+	nb := w.kernel.BodyFor(w.iter + 1)
+	return nb[0].DependsOnPrev
+}
+
+// globalAccess performs the coalesced transactions of a global memory
+// instruction and returns the completion time of the slowest one.
+func (s *SM) globalAccess(now int64, w *Warp, in *isa.Instr, lanes int, kind mem.AccessKind) int64 {
+	st := s.kernels[w.slot].stats
+	// Scale transaction count with the active lanes.
+	n := (int(in.Transactions)*lanes + s.cfg.WarpSize - 1) / s.cfg.WarpSize
+	if n < 1 {
+		n = 1
+	}
+	done := now + s.cfg.L1HitLatency
+	missed := false
+	for t := 0; t < n; t++ {
+		addr := w.kernel.GlobalAddr(w.gid, w.iter, w.pc, t, in.Reuse)
+		st.MemTxns++
+		if kind == mem.Write {
+			// Write-through, no-allocate: writes bypass the L1 tag
+			// array and consume partition bandwidth (and a credit
+			// until the write drains).
+			c := s.memSys.Access(now, addr, mem.Write)
+			s.holdTxn(w.slot, c)
+			continue
+		}
+		st.L1Accesses++
+		if s.l1.Access(addr) {
+			continue // L1 hit at base latency
+		}
+		st.L1Misses++
+		missed = true
+		c := s.memSys.Access(now, addr, mem.Read)
+		s.holdTxn(w.slot, c)
+		if c > done {
+			done = c
+		}
+	}
+	if kind == mem.Read && missed {
+		s.pushMiss(done)
+	}
+	return done
+}
+
+// advance moves the warp past its current instruction, handling the loop
+// back-edge, phase changes, reconvergence and warp completion.
+func (s *SM) advance(now int64, w *Warp) {
+	w.pc++
+	if w.pc < len(w.body) {
+		return
+	}
+	w.pc = 0
+	w.iter++
+	if w.iter >= w.kernel.Profile.Iterations {
+		s.warpDone(now, w)
+		return
+	}
+	w.body = w.kernel.BodyFor(w.iter)
+	w.activeLanes = s.cfg.WarpSize // reconverge at the back-edge
+}
+
+// releaseBarrier wakes every warp of tb waiting at the barrier. The wait
+// counter is cleared before advancing warps: advance may retire a warp,
+// and a stale counter could otherwise re-trigger the release.
+func (s *SM) releaseBarrier(now int64, tb *TB) {
+	tb.BarrierWait = 0
+	for _, w := range tb.Warps {
+		if !w.atBarrier {
+			continue
+		}
+		w.atBarrier = false
+		w.readyAt = now + s.cfg.BarrierLat
+		s.advance(now, w)
+	}
+	s.Wake(now + s.cfg.BarrierLat)
+}
+
+// warpDone retires a warp, possibly releasing a barrier its siblings wait
+// at, and retires the TB when the last warp finishes.
+func (s *SM) warpDone(now int64, w *Warp) {
+	w.done = true
+	tb := w.tb
+	tb.LiveWarps--
+	if tb.LiveWarps == 0 {
+		s.retireTB(now, tb)
+		return
+	}
+	if tb.BarrierWait > 0 && tb.BarrierWait == tb.LiveWarps {
+		s.releaseBarrier(now, tb)
+	}
+}
+
+// retireTB frees the TB's static resources and notifies the dispatcher.
+func (s *SM) retireTB(now int64, tb *TB) {
+	s.freeTB(tb)
+	s.kernels[tb.Slot].stats.TBsCompleted++
+	if s.OnTBComplete != nil {
+		s.OnTBComplete(s.ID, tb.Slot)
+	}
+}
+
+// freeTB removes tb from the resident list and releases its resources.
+func (s *SM) freeTB(tb *TB) {
+	r := tb.Kernel.TBResources()
+	s.usedThreads -= r.Threads
+	s.usedRegs -= r.RegBytes
+	s.usedShm -= r.ShmBytes
+	s.usedTBSlots--
+	s.kernels[tb.Slot].tbs--
+	if s.kernels[tb.Slot].tbs == 0 {
+		s.residentKernels--
+	}
+	for i, t := range s.tbs {
+		if t == tb {
+			s.tbs = append(s.tbs[:i], s.tbs[i+1:]...)
+			break
+		}
+	}
+}
+
+// compact drops finished warps from a scheduler's list, preserving age
+// order.
+func (s *SM) compact(sch *scheduler) {
+	out := sch.warps[:0]
+	for _, w := range sch.warps {
+		if !w.done {
+			out = append(out, w)
+		}
+	}
+	for i := len(out); i < len(sch.warps); i++ {
+		sch.warps[i] = nil
+	}
+	sch.warps = out
+	sch.deadCnt = 0
+}
+
+// txnCap returns the per-kernel in-flight transaction budget: the SM
+// total split across resident kernels, floored so a kernel is never
+// locked out entirely.
+func (s *SM) txnCap() int {
+	n := s.residentKernels
+	if n < 1 {
+		n = 1
+	}
+	cap := s.cfg.TxnFlightCapPerSM / n
+	if cap < 8 {
+		cap = 8
+	}
+	return cap
+}
+
+// holdTxn charges one of the slot's in-flight transaction credits until
+// time t.
+func (s *SM) holdTxn(slot int, t int64) {
+	pushHeap(&s.txnHeap[slot], t)
+	s.txnFlight[slot]++
+	s.txnTotal++
+}
+
+// ---- MSHR / credit min-heaps ----
+
+func (s *SM) pushMiss(t int64) {
+	pushHeap(&s.missHeap, t)
+	s.outstanding++
+}
+
+func (s *SM) popMiss() {
+	popHeap(&s.missHeap)
+	s.outstanding--
+}
+
+// pushHeap inserts t into the min-heap h.
+func pushHeap(h *[]int64, t int64) {
+	a := append(*h, t)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p] <= a[i] {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+	*h = a
+}
+
+// popHeap removes the minimum of the min-heap h.
+func popHeap(h *[]int64) {
+	a := *h
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && a[l] < a[small] {
+			small = l
+		}
+		if r < n && a[r] < a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		a[i], a[small] = a[small], a[i]
+		i = small
+	}
+	*h = a
+}

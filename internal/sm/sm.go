@@ -1,0 +1,400 @@
+// Package sm models one streaming multiprocessor at cycle granularity:
+// warp contexts, GTO (greedy-then-oldest) warp schedulers, barriers,
+// MSHR-limited global memory access through a private L1, static resource
+// accounting for thread blocks, and the quota gate that makes the warp
+// scheduler QoS-aware (the paper's Enhanced Warp Scheduler, Section 3.3).
+//
+// The SM is deliberately single-threaded and allocation-free on the issue
+// path; a whole-GPU cycle advances every SM in a deterministic order.
+package sm
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/kern"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// QuotaGate is the interface between the Enhanced Warp Scheduler and the
+// QoS manager. A nil gate means unmanaged sharing (every issue allowed).
+// Kernels are identified by their runtime slot (index into the co-run).
+type QuotaGate interface {
+	// CanIssue reports whether the scheduler may issue an instruction
+	// of the kernel in the given slot on the given SM this cycle.
+	CanIssue(smID, slot int) bool
+	// OnIssue informs the gate that threadInstrs thread-instructions of
+	// the kernel were just issued on the SM.
+	OnIssue(smID, slot int, threadInstrs int)
+}
+
+// Warp is one 32-thread warp context.
+type Warp struct {
+	kernel *kern.Kernel
+	slot   int
+	tb     *TB
+	gid    uint64 // stable global warp id (grid TB index * warpsPerTB + lane)
+
+	body        []isa.Instr
+	pc          int
+	iter        int
+	readyAt     int64
+	atBarrier   bool
+	done        bool
+	activeLanes int
+	divState    uint64 // per-warp divergence stream
+}
+
+// WarpState is the architectural state saved by a partial context switch.
+type WarpState struct {
+	PC          int
+	Iter        int
+	ActiveLanes int
+	AtBarrier   bool
+	Done        bool
+	DivState    uint64
+}
+
+// TB is one resident thread block.
+type TB struct {
+	Kernel  *kern.Kernel
+	Slot    int
+	GridIdx int
+
+	Warps       []*Warp
+	LiveWarps   int
+	BarrierWait int
+
+	dispatchedAt int64
+}
+
+// TBContext is the saved state of a preempted thread block, sufficient to
+// resume it on any SM later (partial context switch, Section 3.6).
+type TBContext struct {
+	Kernel  *kern.Kernel
+	Slot    int
+	GridIdx int
+	Warps   []WarpState
+}
+
+// kernelState tracks per-kernel residency on this SM.
+type kernelState struct {
+	kernel *kern.Kernel
+	stats  *metrics.KernelStats
+	tbs    int
+	cap    int // max TBs of this kernel on this SM; <0 = unlimited
+}
+
+// scheduler is one GTO warp scheduler.
+type scheduler struct {
+	warps    []*Warp
+	last     *Warp // greedy target
+	nextWake int64 // earliest cycle a scan can possibly issue
+	deadCnt  int   // lazily compacted finished warps
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID  int
+	cfg config.GPU
+
+	memSys *mem.System
+	l1     *cache.Cache
+	gate   QuotaGate
+
+	scheds  []scheduler
+	nextSch int // round-robin warp placement cursor
+
+	tbs     []*TB
+	kernels []kernelState
+
+	// Static resource accounting.
+	usedThreads int
+	usedRegs    int
+	usedShm     int
+	usedTBSlots int
+
+	// MSHR accounting: completion times of outstanding load misses.
+	missHeap    []int64
+	outstanding int
+
+	// Credit-based memory flow control: completion times of every
+	// in-flight 128B transaction this SM has injected (loads and
+	// posted stores), tracked per kernel slot. When a kernel's budget
+	// is spent, its new global-memory instructions stall at issue —
+	// heavy requesters self-limit instead of freezing the whole chip,
+	// and the budget is partitioned per resident kernel (as SMK
+	// partitions other within-SM resources) so a streaming kernel
+	// cannot starve a co-resident kernel's occasional requests.
+	txnHeap         [][]int64
+	txnFlight       []int
+	txnTotal        int // in-flight transactions across all kernels
+	residentKernels int // slots with at least one resident TB
+
+	// Per-cycle issue limits and cached per-cycle state.
+	memIssues int
+	gateOK    []bool // per-slot CanIssue result for the current cycle
+
+	// The SM is unavailable (draining for a spatial repartition or busy
+	// with context movement) until this cycle.
+	BlockedUntil int64
+
+	// OnTBComplete, if set, is invoked when a TB retires; the GPU-level
+	// TB scheduler uses it to dispatch follow-on work.
+	OnTBComplete func(smID int, slot int)
+
+	// IssuedWarpInstrs counts issued warp instructions for utilization
+	// and power accounting.
+	IssuedWarpInstrs int64
+	ActiveCycles     int64 // cycles with at least one issue
+
+	// Scheduler stall breakdown (scans that issued nothing).
+	StallWaiting    int64 // every live warp waiting on a latency
+	StallGate       int64 // ready warps existed but all quota-denied
+	StallStructural int64 // ready warps existed but ports/MSHR/credits full
+
+	// Structural-block cause counters (per blocked check).
+	BlockPort   int64
+	BlockMSHR   int64
+	BlockCredit int64
+}
+
+// New builds an SM. Kernels are registered later via Configure.
+func New(id int, cfg config.GPU, memSys *mem.System) *SM {
+	s := &SM{
+		ID:     id,
+		cfg:    cfg,
+		memSys: memSys,
+		l1:     cache.New(cfg.L1),
+		scheds: make([]scheduler, cfg.WarpSchedulers),
+	}
+	return s
+}
+
+// Configure registers the co-running kernels and their (GPU-wide) stats
+// sinks. Slot order must match across all SMs of the GPU. Configure must
+// run before any TB is dispatched; use SetGate to change the quota gate
+// later without disturbing caps and residency accounting.
+func (s *SM) Configure(kernels []*kern.Kernel, stats []*metrics.KernelStats, gate QuotaGate) {
+	if len(kernels) != len(stats) {
+		panic("sm: kernels and stats length mismatch")
+	}
+	if len(s.tbs) > 0 {
+		panic("sm: Configure after dispatch")
+	}
+	s.kernels = make([]kernelState, len(kernels))
+	s.gateOK = make([]bool, len(kernels))
+	s.txnHeap = make([][]int64, len(kernels))
+	s.txnFlight = make([]int, len(kernels))
+	for i := range kernels {
+		s.kernels[i] = kernelState{kernel: kernels[i], stats: stats[i], cap: -1}
+	}
+	s.gate = gate
+}
+
+// SetGate replaces the quota gate, leaving caps and residency intact.
+func (s *SM) SetGate(gate QuotaGate) { s.gate = gate }
+
+// SetTBCap sets the per-SM thread-block cap for a kernel slot (<0 removes
+// the cap). The static resource manager drives this.
+func (s *SM) SetTBCap(slot, cap int) { s.kernels[slot].cap = cap }
+
+// TBCap returns the current cap for the slot.
+func (s *SM) TBCap(slot int) int { return s.kernels[slot].cap }
+
+// ResidentTBs returns how many TBs of the slot this SM currently hosts.
+func (s *SM) ResidentTBs(slot int) int { return s.kernels[slot].tbs }
+
+// L1 exposes the L1 cache (stats for the power model and tests).
+func (s *SM) L1() *cache.Cache { return s.l1 }
+
+// Outstanding returns the in-flight global load misses (MSHR occupancy).
+func (s *SM) Outstanding() int { return s.outstanding }
+
+// UsedThreads returns the number of resident threads.
+func (s *SM) UsedThreads() int { return s.usedThreads }
+
+// FreeFor reports whether the SM has the static resources to host one
+// more TB of the slot's kernel, honouring the per-kernel cap.
+func (s *SM) FreeFor(slot int) bool {
+	ks := &s.kernels[slot]
+	if ks.cap >= 0 && ks.tbs >= ks.cap {
+		return false
+	}
+	r := ks.kernel.TBResources()
+	return s.usedThreads+r.Threads <= s.cfg.MaxThreadsPerSM &&
+		s.usedRegs+r.RegBytes <= s.cfg.RegFileBytes &&
+		s.usedShm+r.ShmBytes <= s.cfg.SharedMemBytes &&
+		s.usedTBSlots+1 <= s.cfg.MaxTBsPerSM
+}
+
+// roomWithoutCap reports whether raw resources (ignoring the cap) can host
+// one more TB of the kernel. The static adjuster uses it to decide whether
+// raising a cap needs a victim.
+func (s *SM) roomWithoutCap(slot int) bool {
+	r := s.kernels[slot].kernel.TBResources()
+	return s.usedThreads+r.Threads <= s.cfg.MaxThreadsPerSM &&
+		s.usedRegs+r.RegBytes <= s.cfg.RegFileBytes &&
+		s.usedShm+r.ShmBytes <= s.cfg.SharedMemBytes &&
+		s.usedTBSlots+1 <= s.cfg.MaxTBsPerSM
+}
+
+// RoomWithoutCap is the exported form of roomWithoutCap.
+func (s *SM) RoomWithoutCap(slot int) bool { return s.roomWithoutCap(slot) }
+
+// DebugWarpStates summarizes warp states per kernel slot for diagnostics:
+// counts of ready, waiting (future readyAt), at-barrier and done warps.
+func (s *SM) DebugWarpStates(now int64) string {
+	type agg struct{ ready, waiting, barrier, done int }
+	per := make([]agg, len(s.kernels))
+	minReady := make([]int64, len(s.kernels))
+	for i := range s.scheds {
+		for _, w := range s.scheds[i].warps {
+			a := &per[w.slot]
+			switch {
+			case w.done:
+				a.done++
+			case w.atBarrier:
+				a.barrier++
+			case w.readyAt <= now:
+				a.ready++
+			default:
+				a.waiting++
+				if minReady[w.slot] == 0 || w.readyAt < minReady[w.slot] {
+					minReady[w.slot] = w.readyAt
+				}
+			}
+		}
+	}
+	out := ""
+	for slot, a := range per {
+		out += fmt.Sprintf("slot%d{rdy:%d wait:%d bar:%d done:%d minReady:%d} ",
+			slot, a.ready, a.waiting, a.barrier, a.done, minReady[slot])
+	}
+	return out
+}
+
+// DebugSchedList renders scheduler i's warp list in age order: slot,
+// state and head opcode for each live warp.
+func (s *SM) DebugSchedList(now int64, i int) string {
+	out := ""
+	for _, w := range s.scheds[i].warps {
+		if w.done {
+			continue
+		}
+		state := "W"
+		switch {
+		case w.atBarrier:
+			state = "B"
+		case w.readyAt <= now:
+			state = "R"
+		}
+		out += fmt.Sprintf("[s%d %s %v]", w.slot, state, w.body[w.pc].Op)
+	}
+	return out
+}
+
+// FreeThreads returns unused thread contexts on this SM.
+func (s *SM) FreeThreads() int { return s.cfg.MaxThreadsPerSM - s.usedThreads }
+
+// FreeRegBytes returns unused register-file bytes on this SM.
+func (s *SM) FreeRegBytes() int { return s.cfg.RegFileBytes - s.usedRegs }
+
+// FreeShmBytes returns unused shared-memory bytes on this SM.
+func (s *SM) FreeShmBytes() int { return s.cfg.SharedMemBytes - s.usedShm }
+
+// FreeTBSlots returns unused thread-block slots on this SM.
+func (s *SM) FreeTBSlots() int { return s.cfg.MaxTBsPerSM - s.usedTBSlots }
+
+// Dispatch places one TB of the slot's kernel on this SM, optionally
+// resuming a previously preempted context. It panics if FreeFor is false;
+// callers are expected to check admission first.
+func (s *SM) Dispatch(now int64, slot, gridIdx int, resume *TBContext) *TB {
+	if !s.FreeFor(slot) {
+		panic(fmt.Sprintf("sm%d: dispatch without room for slot %d", s.ID, slot))
+	}
+	ks := &s.kernels[slot]
+	k := ks.kernel
+	r := k.TBResources()
+	s.usedThreads += r.Threads
+	s.usedRegs += r.RegBytes
+	s.usedShm += r.ShmBytes
+	s.usedTBSlots++
+	ks.tbs++
+	if ks.tbs == 1 {
+		s.residentKernels++
+	}
+	ks.stats.TBsDispatched++
+
+	warpsPerTB := k.WarpsPerTB()
+	tb := &TB{Kernel: k, Slot: slot, GridIdx: gridIdx, dispatchedAt: now}
+	tb.Warps = make([]*Warp, warpsPerTB)
+	for i := 0; i < warpsPerTB; i++ {
+		w := &Warp{
+			kernel:      k,
+			slot:        slot,
+			tb:          tb,
+			gid:         uint64(gridIdx)*uint64(warpsPerTB) + uint64(i),
+			activeLanes: s.cfg.WarpSize,
+			readyAt:     now,
+		}
+		w.divState = rng.Mix(uint64(k.ID)<<20, w.gid)
+		if resume != nil {
+			st := resume.Warps[i]
+			w.pc, w.iter = st.PC, st.Iter
+			w.activeLanes = st.ActiveLanes
+			w.atBarrier = st.AtBarrier
+			w.done = st.Done
+			w.divState = st.DivState
+			if w.atBarrier {
+				tb.BarrierWait++
+			}
+		}
+		w.body = k.BodyFor(w.iter)
+		if !w.done {
+			tb.LiveWarps++
+		}
+		tb.Warps[i] = w
+		sch := &s.scheds[s.nextSch]
+		s.nextSch = (s.nextSch + 1) % len(s.scheds)
+		sch.warps = append(sch.warps, w)
+		if sch.nextWake > now {
+			sch.nextWake = now
+		}
+	}
+	s.tbs = append(s.tbs, tb)
+	// A resumed TB that was saved exactly at a barrier boundary may be
+	// immediately releasable.
+	if tb.LiveWarps > 0 && tb.BarrierWait == tb.LiveWarps {
+		s.releaseBarrier(now, tb)
+	}
+	if tb.LiveWarps == 0 {
+		// Degenerate resume: every warp had already finished.
+		s.retireTB(now, tb)
+	}
+	return tb
+}
+
+// DeferTB postpones the first issue of every warp in tb until the given
+// cycle; the dispatcher uses this to charge context-restore latency.
+func (s *SM) DeferTB(tb *TB, until int64) {
+	for _, w := range tb.Warps {
+		if !w.done && w.readyAt < until {
+			w.readyAt = until
+		}
+	}
+}
+
+// Wake clears scheduler sleep caches so the next cycle rescans; the QoS
+// manager calls this when quotas are replenished.
+func (s *SM) Wake(now int64) {
+	for i := range s.scheds {
+		if s.scheds[i].nextWake > now {
+			s.scheds[i].nextWake = now
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package workloads
+
+import "repro/internal/kern"
+
+// Microbenchmarks: synthetic corner-case kernels used to calibrate the
+// simulator and to stress specific subsystems in tests. They are not part
+// of the paper's Parboil suite (Pairs/Trios never include them) but are
+// available to Kernel/ByName-style lookups via the Micro* constructors.
+
+// MicroALU is a pure-compute kernel: no global memory, no barriers. Its
+// isolated IPC calibrates the issue/latency model (it should approach the
+// issue-bound peak for its TLP).
+func MicroALU() kern.Profile {
+	return kern.Profile{
+		Name: "micro-alu", Class: kern.ClassCompute,
+		BodyInstrs: 32, Iterations: 200,
+		DepDensity:     0.25,
+		CoalesceDegree: 1, ReuseFrac: 0,
+		HotBytes: 1 << 10, FootprintBytes: 1 << 20,
+		ThreadsPerTB: 128, RegsPerThread: 24, GridTBs: 512,
+	}
+}
+
+// MicroStream is a bandwidth-saturating streamer: perfectly coalesced
+// loads and stores over a huge footprint with no reuse. Its isolated
+// lines/cycle calibrates the DRAM bandwidth model.
+func MicroStream() kern.Profile {
+	return kern.Profile{
+		Name: "micro-stream", Class: kern.ClassMemory,
+		BodyInstrs: 16, Iterations: 300,
+		FracGlobalMem: 0.5, FracStore: 0.5,
+		DepDensity:     0.1,
+		CoalesceDegree: 1, ReuseFrac: 0,
+		HotBytes: 1 << 10, FootprintBytes: 512 << 20,
+		ThreadsPerTB: 128, RegsPerThread: 16, GridTBs: 512,
+	}
+}
+
+// MicroPChase is a latency-bound pointer chase: every load is scattered
+// (worst-case coalescing) and the next instruction depends on it. Its
+// isolated IPC calibrates the memory round-trip latency.
+func MicroPChase() kern.Profile {
+	return kern.Profile{
+		Name: "micro-pchase", Class: kern.ClassMemory,
+		BodyInstrs: 8, Iterations: 400,
+		FracGlobalMem: 0.4, FracStore: 0,
+		DepDensity:     0.95,
+		CoalesceDegree: 16, ReuseFrac: 0,
+		HotBytes: 1 << 10, FootprintBytes: 256 << 20,
+		ThreadsPerTB: 64, RegsPerThread: 12, GridTBs: 512,
+	}
+}
+
+// MicroBarrier is a synchronization-heavy kernel: a barrier every few
+// instructions. It calibrates barrier cost and exposes convoy effects.
+func MicroBarrier() kern.Profile {
+	return kern.Profile{
+		Name: "micro-barrier", Class: kern.ClassCompute,
+		BodyInstrs: 24, Iterations: 250,
+		FracShared:     0.2,
+		DepDensity:     0.3,
+		CoalesceDegree: 1, ReuseFrac: 0,
+		HotBytes: 1 << 10, FootprintBytes: 1 << 20,
+		BarrierEvery: 6,
+		ThreadsPerTB: 256, RegsPerThread: 20, SharedMemPerTB: 4 << 10, GridTBs: 256,
+	}
+}
+
+// Micro returns all microbenchmark profiles.
+func Micro() []kern.Profile {
+	return []kern.Profile{MicroALU(), MicroStream(), MicroPChase(), MicroBarrier()}
+}
