@@ -1,0 +1,31 @@
+# Build, test and verification entry points. `make ci` is the gate run
+# before merging: vet plus the race-detector pass over the packages that
+# do concurrent work (the sweep engine and the session facade it drives).
+
+GO ?= go
+
+.PHONY: all build test bench race ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short benchmarks (one iteration per figure driver).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Race-detector pass over the concurrent packages.
+race:
+	$(GO) test -race ./internal/exp/... ./internal/core/...
+
+ci:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/exp/... ./internal/core/...
+	$(GO) test ./...
+
+clean:
+	$(GO) clean ./...

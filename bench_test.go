@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"testing"
@@ -25,11 +26,11 @@ import (
 // from the larger cmd/qossim runs.
 func benchStudy(b *testing.B, cfg config.GPU) exp.Study {
 	b.Helper()
-	s, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: 60_000})
+	r, err := exp.NewRunner(0, core.WithGPU(cfg), core.WithWindow(60_000))
 	if err != nil {
 		b.Fatal(err)
 	}
-	st := exp.ReducedStudy(s, 30) // 3 pairs, 2 trios, 5 goals
+	st := exp.ReducedStudy(r, 30) // 3 pairs, 2 trios, 5 goals
 	return st
 }
 
@@ -38,15 +39,15 @@ var (
 	baseStudyVal  exp.Study
 )
 
-// baseStudy caches one session across benchmarks so isolated-IPC
-// measurements are shared.
+// baseStudy caches one runner across benchmarks so isolated-IPC
+// measurements and memoized scheme sweeps are shared.
 func baseStudy(b *testing.B) exp.Study {
 	baseStudyOnce.Do(func() {
-		s, err := core.NewSession(core.Config{GPU: config.Base(), WindowCycles: 60_000})
+		r, err := exp.NewRunner(0, core.WithGPU(config.Base()), core.WithWindow(60_000))
 		if err != nil {
 			panic(err)
 		}
-		baseStudyVal = exp.ReducedStudy(s, 24) // 4 pairs, 3 trios, 5 goals
+		baseStudyVal = exp.ReducedStudy(r, 24) // 4 pairs, 3 trios, 5 goals
 	})
 	st := baseStudyVal
 	return st
@@ -54,11 +55,12 @@ func baseStudy(b *testing.B) exp.Study {
 
 // runFigure runs a figure driver b.N times and reports a headline metric
 // extracted from the resulting table.
-func runFigure(b *testing.B, st exp.Study, fn func(exp.Study) (*exp.Table, error),
+func runFigure(b *testing.B, st exp.Study, fn func(context.Context, exp.Study) (*exp.Table, error),
 	metricName string, metric func(*exp.Table) float64) {
 	b.Helper()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		t, err := fn(st)
+		t, err := fn(ctx, st)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +183,7 @@ func BenchmarkAblateStatic(b *testing.B) {
 	// subsample may exclude them, so select M+M pairs explicitly.
 	st := baseStudy(b)
 	st.Pairs = nil
-	for _, p := range exp.FullStudy(st.Session).Pairs {
+	for _, p := range exp.FullStudy(st.Runner).Pairs {
 		if cls, err := workloads.PairClass(p.QoS, p.NonQoS); err == nil && cls == "M+M" {
 			st.Pairs = append(st.Pairs, p)
 			if len(st.Pairs) == 3 {
@@ -198,15 +200,15 @@ func BenchmarkAblatePreemption(b *testing.B) {
 
 func BenchmarkAblateEpochLength(b *testing.B) {
 	st := baseStudy(b)
-	runFigure(b, st, func(s exp.Study) (*exp.Table, error) {
-		return exp.AblateEpochLength(s, []int64{5_000, 10_000, 20_000})
+	runFigure(b, st, func(ctx context.Context, s exp.Study) (*exp.Table, error) {
+		return exp.AblateEpochLength(ctx, s, []int64{5_000, 10_000, 20_000})
 	}, "", nil)
 }
 
 func BenchmarkAblateNonQoSInit(b *testing.B) {
 	st := baseStudy(b)
-	runFigure(b, st, func(s exp.Study) (*exp.Table, error) {
-		return exp.AblateNonQoSInit(s, []float64{1, 32})
+	runFigure(b, st, func(ctx context.Context, s exp.Study) (*exp.Table, error) {
+		return exp.AblateNonQoSInit(ctx, s, []float64{1, 32})
 	}, "", nil)
 }
 
@@ -214,7 +216,8 @@ func BenchmarkAblateNonQoSInit(b *testing.B) {
 // simulated per second for a representative co-run, independent of the
 // figure harness.
 func BenchmarkSimulatorCycles(b *testing.B) {
-	s, err := core.NewSession(core.Config{WindowCycles: 50_000})
+	ctx := context.Background()
+	s, err := core.NewSession(core.WithWindow(50_000))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -223,15 +226,15 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 		{Workload: "lbm"},
 	}
 	// Warm the isolated-IPC cache outside the timed region.
-	if _, err := s.IsolatedIPC(specs[0]); err != nil {
+	if _, err := s.IsolatedIPC(ctx, specs[0]); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := s.IsolatedIPC(specs[1]); err != nil {
+	if _, err := s.IsolatedIPC(ctx, specs[1]); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Run(specs, core.SchemeRollover); err != nil {
+		if _, err := s.Run(ctx, specs, core.SchemeRollover); err != nil {
 			b.Fatal(err)
 		}
 	}

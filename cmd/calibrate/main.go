@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/gpu"
@@ -30,7 +33,11 @@ func main() {
 		tlp    = flag.Bool("tlp", false, "include the TLP-sensitivity sweep")
 	)
 	flag.Parse()
-	if err := run(*list, *window, *tlp); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *list, *window, *tlp); err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
@@ -53,7 +60,7 @@ func selected(list string) ([]string, error) {
 
 // measure runs the named workload isolated, optionally with a uniform
 // per-SM TB cap, and returns the GPU for stat extraction.
-func measure(name string, window int64, cap int) (*gpu.GPU, error) {
+func measure(ctx context.Context, name string, window int64, cap int) (*gpu.GPU, error) {
 	k, err := workloads.Kernel(name, 0)
 	if err != nil {
 		return nil, err
@@ -67,11 +74,13 @@ func measure(name string, window int64, cap int) (*gpu.GPU, error) {
 			s.SetTBCap(0, cap)
 		}
 	}
-	g.Run(window)
+	if err := g.RunCtx(ctx, window); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
-func run(list string, window int64, tlp bool) error {
+func run(ctx context.Context, list string, window int64, tlp bool) error {
 	names, err := selected(list)
 	if err != nil {
 		return err
@@ -79,7 +88,7 @@ func run(list string, window int64, tlp bool) error {
 	fmt.Printf("%-14s %-3s %9s %10s %8s %8s %9s %8s\n",
 		"workload", "cls", "IPC", "lines/cyc", "L1hit", "L2hit", "TBs", "launches")
 	for _, name := range names {
-		g, err := measure(name, window, 0)
+		g, err := measure(ctx, name, window, 0)
 		if err != nil {
 			return err
 		}
@@ -99,14 +108,14 @@ func run(list string, window int64, tlp bool) error {
 	fmt.Printf("\nTLP sensitivity (IPC at a per-SM TB cap, normalized to uncapped):\n")
 	fmt.Printf("%-14s %8s %8s %8s %8s\n", "workload", "cap=2", "cap=4", "cap=8", "full")
 	for _, name := range names {
-		full, err := measure(name, window, 0)
+		full, err := measure(ctx, name, window, 0)
 		if err != nil {
 			return err
 		}
 		base := full.IPC(0)
 		fmt.Printf("%-14s", name)
 		for _, cap := range []int{2, 4, 8} {
-			g, err := measure(name, window, cap)
+			g, err := measure(ctx, name, window, cap)
 			if err != nil {
 				return err
 			}

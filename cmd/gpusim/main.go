@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -40,32 +43,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*kernels, *scheme, *window, *scale); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *kernels, *scheme, *window, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(1)
 	}
-}
-
-func parseScheme(s string) (core.Scheme, error) {
-	switch strings.ToLower(s) {
-	case "none":
-		return core.SchemeNone, nil
-	case "naive":
-		return core.SchemeNaive, nil
-	case "naive-history":
-		return core.SchemeNaiveHistory, nil
-	case "elastic":
-		return core.SchemeElastic, nil
-	case "rollover":
-		return core.SchemeRollover, nil
-	case "rollover-time":
-		return core.SchemeRolloverTime, nil
-	case "spart":
-		return core.SchemeSpart, nil
-	case "fair":
-		return core.SchemeFair, nil
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
 }
 
 func parseSpecs(s string) ([]core.KernelSpec, error) {
@@ -80,7 +64,7 @@ func parseSpecs(s string) ([]core.KernelSpec, error) {
 		if hasGoal {
 			frac, err := strconv.ParseFloat(goal, 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad goal in %q: %w", part, err)
+				return nil, fmt.Errorf("%w: %q", core.ErrBadGoal, part)
 			}
 			spec.GoalFrac = frac
 		}
@@ -92,12 +76,12 @@ func parseSpecs(s string) ([]core.KernelSpec, error) {
 	return specs, nil
 }
 
-func run(kernels, schemeName string, window int64, scale bool) error {
+func run(ctx context.Context, kernels, schemeName string, window int64, scale bool) error {
 	specs, err := parseSpecs(kernels)
 	if err != nil {
 		return err
 	}
-	scheme, err := parseScheme(schemeName)
+	scheme, err := core.ParseScheme(schemeName)
 	if err != nil {
 		return err
 	}
@@ -105,7 +89,7 @@ func run(kernels, schemeName string, window int64, scale bool) error {
 	if scale {
 		cfg = config.Scale56()
 	}
-	session, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: window})
+	session, err := core.NewSession(core.WithGPU(cfg), core.WithWindow(window))
 	if err != nil {
 		return err
 	}
@@ -117,7 +101,7 @@ func run(kernels, schemeName string, window int64, scale bool) error {
 		}
 	}
 	if len(specs) == 1 && !hasQoS {
-		ipc, err := session.IsolatedIPC(specs[0])
+		ipc, err := session.IsolatedIPC(ctx, specs[0])
 		if err != nil {
 			return err
 		}
@@ -129,7 +113,7 @@ func run(kernels, schemeName string, window int64, scale bool) error {
 		return fmt.Errorf("scheme %v needs at least one kernel with a goal (NAME:FRAC)", scheme)
 	}
 
-	res, err := session.Run(specs, scheme)
+	res, err := session.Run(ctx, specs, scheme)
 	if err != nil {
 		return err
 	}

@@ -1,12 +1,15 @@
 // Command qossim regenerates the paper's tables and figures on the
 // simulator. Each experiment prints the same rows/series the paper
-// reports, next to a note quoting the paper's own numbers.
+// reports, next to a note quoting the paper's own numbers. Sweeps run on
+// a parallel worker pool (-workers, default one per CPU) with results
+// bit-identical to a serial run; Ctrl-C cancels cleanly mid-sweep.
 //
 // Usage:
 //
 //	qossim -exp fig6a              # reduced study (fast)
 //	qossim -exp fig6c -full        # the complete 60-trio sweep
 //	qossim -exp all -window 500000 # everything, longer window
+//	qossim -exp fig6a -workers 4   # cap the worker pool
 //
 // Experiments: table1, fig5, fig6a, fig6b, fig6c, fig7, fig8a, fig8b,
 // fig8c, fig9, fig10, fig11, fig12, fig13, fig14, ablate-history,
@@ -14,9 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/config"
@@ -30,36 +36,43 @@ func main() {
 		full      = flag.Bool("full", false, "run the complete study (90 pairs / 60 trios, 10 goals)")
 		subsample = flag.Int("subsample", 6, "take every k-th pair/trio in reduced mode")
 		window    = flag.Int64("window", 200_000, "measurement window in cycles")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		chart     = flag.Bool("chart", false, "render figures as ASCII bar charts")
 	)
 	flag.Parse()
 
-	if err := run(*expName, *full, *subsample, *window, *quiet, *chart); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *expName, *full, *subsample, *window, *workers, *quiet, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "qossim:", err)
 		os.Exit(1)
 	}
 }
 
-func newStudy(cfg config.GPU, window int64, full bool, subsample int, quiet bool) (exp.Study, error) {
-	s, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: window})
+// newStudy builds one study per device configuration; studies are shared
+// across drivers so pair sweeps memoized per scheme (and the isolated-IPC
+// baselines) are reused by every figure that needs them.
+func newStudy(cfg config.GPU, window int64, workers int, full bool, subsample int, quiet bool) (exp.Study, error) {
+	r, err := exp.NewRunner(workers, core.WithGPU(cfg), core.WithWindow(window))
 	if err != nil {
 		return exp.Study{}, err
 	}
 	var st exp.Study
 	if full {
-		st = exp.FullStudy(s)
+		st = exp.FullStudy(r)
 	} else {
-		st = exp.ReducedStudy(s, subsample)
+		st = exp.ReducedStudy(r, subsample)
 	}
 	if !quiet {
-		start := time.Now()
-		st.Progress = func(stage string, done, total int) {
-			if done == total || done%25 == 0 {
-				fmt.Fprintf(os.Stderr, "\r[%6s] %-24s %d/%d   ",
-					time.Since(start).Round(time.Second), stage, done, total)
+		st.Progress = func(p exp.Progress) {
+			if p.Done == p.Total || p.Done%25 == 0 {
+				fmt.Fprintf(os.Stderr, "\r[%6s] %-24s %d/%d  %.1f case/s  ETA %-8s ",
+					p.Elapsed.Round(time.Second), p.Stage, p.Done, p.Total,
+					p.CasesPerSec, p.ETA.Round(time.Second))
 			}
-			if done == total {
+			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
@@ -70,7 +83,7 @@ func newStudy(cfg config.GPU, window int64, full bool, subsample int, quiet bool
 type driver struct {
 	name  string
 	scale bool // uses the 56-SM configuration
-	fn    func(exp.Study) (*exp.Table, error)
+	fn    func(context.Context, exp.Study) (*exp.Table, error)
 }
 
 func drivers() []driver {
@@ -92,12 +105,16 @@ func drivers() []driver {
 		{"ablate-history", false, exp.AblateHistory},
 		{"ablate-static", false, exp.AblateStatic},
 		{"ablate-preempt", false, exp.AblatePreemption},
-		{"ablate-epoch", false, func(st exp.Study) (*exp.Table, error) { return exp.AblateEpochLength(st, nil) }},
-		{"ablate-nqinit", false, func(st exp.Study) (*exp.Table, error) { return exp.AblateNonQoSInit(st, nil) }},
+		{"ablate-epoch", false, func(ctx context.Context, st exp.Study) (*exp.Table, error) {
+			return exp.AblateEpochLength(ctx, st, nil)
+		}},
+		{"ablate-nqinit", false, func(ctx context.Context, st exp.Study) (*exp.Table, error) {
+			return exp.AblateNonQoSInit(ctx, st, nil)
+		}},
 	}
 }
 
-func run(name string, full bool, subsample int, window int64, quiet, chart bool) error {
+func run(ctx context.Context, name string, full bool, subsample int, window int64, workers int, quiet, chart bool) error {
 	if name == "table1" {
 		fmt.Print(exp.Table1(config.Base()))
 		return nil
@@ -114,16 +131,23 @@ func run(name string, full bool, subsample int, window int64, quiet, chart bool)
 	if len(selected) == 0 {
 		return fmt.Errorf("unknown experiment %q", name)
 	}
+	// One study per device configuration, shared across drivers.
+	studies := make(map[bool]exp.Study)
 	for _, d := range selected {
-		cfg := config.Base()
-		if d.scale {
-			cfg = config.Scale56()
+		st, ok := studies[d.scale]
+		if !ok {
+			cfg := config.Base()
+			if d.scale {
+				cfg = config.Scale56()
+			}
+			var err error
+			st, err = newStudy(cfg, window, workers, full, subsample, quiet)
+			if err != nil {
+				return err
+			}
+			studies[d.scale] = st
 		}
-		st, err := newStudy(cfg, window, full, subsample, quiet)
-		if err != nil {
-			return err
-		}
-		t, err := d.fn(st)
+		t, err := d.fn(ctx, st)
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.name, err)
 		}
@@ -133,6 +157,18 @@ func run(name string, full bool, subsample int, window int64, quiet, chart bool)
 			fmt.Print(t)
 		}
 		fmt.Println()
+	}
+	if !quiet {
+		for _, scale := range []bool{false, true} {
+			st, ok := studies[scale]
+			if !ok {
+				continue
+			}
+			for _, m := range st.Runner.Metrics() {
+				fmt.Fprintf(os.Stderr, "sweep %-24s %4d cases in %8s (%.1f case/s)\n",
+					m.Stage, m.Cases, m.Wall.Round(time.Millisecond), m.CasesPerSec)
+			}
+		}
 	}
 	return nil
 }

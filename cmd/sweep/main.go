@@ -1,19 +1,27 @@
 // Command sweep runs pair or trio co-run studies and emits one CSV row
-// per case, for offline plotting of the paper's figures.
+// per case, for offline plotting of the paper's figures. Cases fan out
+// over a parallel worker pool (-workers, default one per CPU); rows are
+// emitted in deterministic case order and are bit-identical to a serial
+// run. Ctrl-C cancels mid-sweep.
 //
 // Usage:
 //
 //	sweep -mode pairs -schemes rollover,spart > pairs.csv
 //	sweep -mode trios -nqos 2 -schemes rollover,spart -subsample 2 > trios2.csv
+//	sweep -mode pairs -workers 1   # force serial execution
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -30,26 +38,25 @@ func main() {
 		subsample = flag.Int("subsample", 1, "take every k-th pair/trio")
 		goalsFlag = flag.String("goals", "", "comma-separated goal fractions (default: paper sweep)")
 		scale     = flag.Bool("scale56", false, "use the 56-SM configuration")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
 	)
 	flag.Parse()
-	if err := run(*mode, *nQoS, *schemes, *window, *subsample, *goalsFlag, *scale); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *mode, *nQoS, *schemes, *window, *subsample, *goalsFlag, *scale, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
 func parseSchemes(s string) ([]core.Scheme, error) {
-	table := map[string]core.Scheme{
-		"none": core.SchemeNone, "naive": core.SchemeNaive,
-		"naive-history": core.SchemeNaiveHistory, "elastic": core.SchemeElastic,
-		"rollover": core.SchemeRollover, "rollover-time": core.SchemeRolloverTime,
-		"spart": core.SchemeSpart,
-	}
 	var out []core.Scheme
 	for _, name := range strings.Split(s, ",") {
-		sc, ok := table[strings.TrimSpace(strings.ToLower(name))]
-		if !ok {
-			return nil, fmt.Errorf("unknown scheme %q", name)
+		sc, err := core.ParseScheme(name)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, sc)
 	}
@@ -71,7 +78,14 @@ func parseGoals(s string, def []float64) ([]float64, error) {
 	return out, nil
 }
 
-func run(mode string, nQoS int, schemeList string, window int64, subsample int, goalsFlag string, scale bool) error {
+func progress(p exp.Progress) {
+	if p.Done%20 == 0 || p.Done == p.Total {
+		fmt.Fprintf(os.Stderr, "\r%-30s %d/%d  %.1f case/s  ETA %-8s ",
+			p.Stage, p.Done, p.Total, p.CasesPerSec, p.ETA.Round(time.Second))
+	}
+}
+
+func run(ctx context.Context, mode string, nQoS int, schemeList string, window int64, subsample int, goalsFlag string, scale bool, workers int) error {
 	schemes, err := parseSchemes(schemeList)
 	if err != nil {
 		return err
@@ -88,7 +102,7 @@ func run(mode string, nQoS int, schemeList string, window int64, subsample int, 
 	if scale {
 		cfg = config.Scale56()
 	}
-	session, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: window})
+	runner, err := exp.NewRunner(workers, core.WithGPU(cfg), core.WithWindow(window))
 	if err != nil {
 		return err
 	}
@@ -98,13 +112,6 @@ func run(mode string, nQoS int, schemeList string, window int64, subsample int, 
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
-	progress := func(stage string) func(int, int) {
-		return func(done, total int) {
-			if done%20 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\r%-30s %d/%d ", stage, done, total)
-			}
-		}
-	}
 
 	switch mode {
 	case "pairs":
@@ -117,7 +124,7 @@ func run(mode string, nQoS int, schemeList string, window int64, subsample int, 
 		w.Write([]string{"scheme", "qos", "nonqos", "class", "goal", "reached",
 			"qos_ipc", "qos_goal_ipc", "goal_ratio", "nonqos_norm_tput", "instr_per_watt"})
 		for _, sc := range schemes {
-			cases, err := exp.PairSweep(session, pairs, goals, sc, progress(sc.String()))
+			cases, err := runner.PairSweep(ctx, pairs, goals, sc, progress)
 			if err != nil {
 				return err
 			}
@@ -125,7 +132,7 @@ func run(mode string, nQoS int, schemeList string, window int64, subsample int, 
 				q, nq := c.QoSKernel(), c.NonQoSKernel()
 				cls, _ := workloads.PairClass(c.Pair.QoS, c.Pair.NonQoS)
 				w.Write([]string{
-					sc.String(), c.Pair.QoS, c.Pair.NonQoS, cls,
+					sc.Name(), c.Pair.QoS, c.Pair.NonQoS, cls,
 					fmt.Sprintf("%.2f", c.Goal),
 					fmt.Sprint(c.Res.AllReached),
 					fmt.Sprintf("%.2f", q.IPC),
@@ -147,7 +154,7 @@ func run(mode string, nQoS int, schemeList string, window int64, subsample int, 
 		w.Write([]string{"scheme", "a", "b", "c", "nqos", "goal", "reached",
 			"ratio_a", "ratio_b", "nonqos_norm_tput"})
 		for _, sc := range schemes {
-			cases, err := exp.TrioSweep(session, trios, goals, nQoS, sc, progress(sc.String()))
+			cases, err := runner.TrioSweep(ctx, trios, goals, nQoS, sc, progress)
 			if err != nil {
 				return err
 			}
@@ -168,7 +175,7 @@ func run(mode string, nQoS int, schemeList string, window int64, subsample int, 
 					nqNorm /= float64(nqCount)
 				}
 				w.Write([]string{
-					sc.String(), c.Trio.A, c.Trio.B, c.Trio.C,
+					sc.Name(), c.Trio.A, c.Trio.B, c.Trio.C,
 					fmt.Sprint(nQoS),
 					fmt.Sprintf("%.2f", c.QoSGoals[0]),
 					fmt.Sprint(c.Res.AllReached),
@@ -183,5 +190,9 @@ func run(mode string, nQoS int, schemeList string, window int64, subsample int, 
 		return fmt.Errorf("unknown mode %q", mode)
 	}
 	fmt.Fprintln(os.Stderr)
+	for _, m := range runner.Metrics() {
+		fmt.Fprintf(os.Stderr, "sweep %-24s %4d cases in %8s (%.1f case/s, %d workers)\n",
+			m.Stage, m.Cases, m.Wall.Round(time.Millisecond), m.CasesPerSec, runner.Workers())
+	}
 	return nil
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,8 @@ import (
 )
 
 func main() {
-	session, err := core.NewSession(core.Config{WindowCycles: 300_000})
+	ctx := context.Background()
+	session, err := core.NewSession(core.WithWindow(300_000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func main() {
 	fmt.Println("two QoS tenants + one batch tenant on a single GPU")
 	fmt.Println()
 	for _, scheme := range []core.Scheme{core.SchemeSpart, core.SchemeRollover} {
-		res, err := session.Run(specs, scheme)
+		res, err := session.Run(ctx, specs, scheme)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,8 @@ import (
 func main() {
 	// A Session fixes the GPU configuration (the paper's Table 1 by
 	// default) and caches isolated-throughput measurements.
-	session, err := core.NewSession(core.Config{})
+	ctx := context.Background()
+	session, err := core.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,7 +32,7 @@ func main() {
 		{Workload: "lbm"},
 	}
 
-	res, err := session.Run(specs, core.SchemeRollover)
+	res, err := session.Run(ctx, specs, core.SchemeRollover)
 	if err != nil {
 		log.Fatal(err)
 	}

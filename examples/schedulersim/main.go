@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,8 @@ type job struct {
 }
 
 func main() {
-	session, err := core.NewSession(core.Config{})
+	ctx := context.Background()
+	session, err := core.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		iso, err := session.IsolatedIPC(core.KernelSpec{Workload: j.name})
+		iso, err := session.IsolatedIPC(ctx, core.KernelSpec{Workload: j.name})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +70,7 @@ func main() {
 			continue
 		}
 
-		res, err := session.Run([]core.KernelSpec{
+		res, err := session.Run(ctx, []core.KernelSpec{
 			{Workload: j.name, GoalIPC: goal},
 			{Workload: "lbm"}, // the node's resident batch tenant
 		}, core.SchemeRollover)

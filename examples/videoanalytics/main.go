@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,8 @@ import (
 
 func main() {
 	cfg := config.Base()
-	session, err := core.NewSession(core.Config{GPU: cfg})
+	ctx := context.Background()
+	session, err := core.NewSession(core.WithGPU(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func main() {
 
 	// Sanity-check feasibility against the isolated throughput, the
 	// way a datacenter admission controller would.
-	iso, err := session.IsolatedIPC(core.KernelSpec{Workload: "stencil"})
+	iso, err := session.IsolatedIPC(ctx, core.KernelSpec{Workload: "stencil"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func main() {
 	fmt.Printf("goal is %.1f%% of the kernel's isolated IPC (%.1f) — admitting\n\n", 100*ipcGoal/iso, iso)
 
 	// Co-run with a best-effort training job (sgemm) under Rollover.
-	res, err := session.Run([]core.KernelSpec{
+	res, err := session.Run(ctx, []core.KernelSpec{
 		{Workload: "stencil", GoalIPC: ipcGoal},
 		{Workload: "sgemm"},
 	}, core.SchemeRollover)

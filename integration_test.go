@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/config"
@@ -13,7 +14,7 @@ import (
 // small enough for CI.
 func integrationSession(t *testing.T) *core.Session {
 	t.Helper()
-	s, err := core.NewSession(core.Config{WindowCycles: 60_000})
+	s, err := core.NewSession(core.WithWindow(60_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestIntegrationRolloverMeetsModestGoal(t *testing.T) {
 		t.Skip("simulation")
 	}
 	s := integrationSession(t)
-	res, err := s.Run([]core.KernelSpec{
+	res, err := s.Run(context.Background(), []core.KernelSpec{
 		{Workload: "sgemm", GoalFrac: 0.5},
 		{Workload: "lbm"},
 	}, core.SchemeRollover)
@@ -50,7 +51,7 @@ func TestIntegrationRolloverDoesNotOvershoot(t *testing.T) {
 		t.Skip("simulation")
 	}
 	s := integrationSession(t)
-	res, err := s.Run([]core.KernelSpec{
+	res, err := s.Run(context.Background(), []core.KernelSpec{
 		{Workload: "mri-q", GoalFrac: 0.5},
 		{Workload: "stencil"},
 	}, core.SchemeRollover)
@@ -74,11 +75,12 @@ func TestIntegrationRolloverTimeHurtsThroughput(t *testing.T) {
 		{Workload: "tpacf", GoalFrac: 0.5},
 		{Workload: "stencil"},
 	}
-	roll, err := s.Run(specs, core.SchemeRollover)
+	ctx := context.Background()
+	roll, err := s.Run(ctx, specs, core.SchemeRollover)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rtime, err := s.Run(specs, core.SchemeRolloverTime)
+	rtime, err := s.Run(ctx, specs, core.SchemeRolloverTime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestIntegrationTrioRuns(t *testing.T) {
 		{Workload: "sad"},
 	}
 	for _, scheme := range []core.Scheme{core.SchemeRollover, core.SchemeSpart} {
-		res, err := s.Run(specs, scheme)
+		res, err := s.Run(context.Background(), specs, scheme)
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
@@ -124,7 +126,7 @@ func TestIntegrationIsolationBaseline(t *testing.T) {
 	s := integrationSession(t)
 	peak := float64(config.Base().PeakIssuePerCycle() * 32)
 	for _, name := range workloads.Names() {
-		ipc, err := s.IsolatedIPC(core.KernelSpec{Workload: name})
+		ipc, err := s.IsolatedIPC(context.Background(), core.KernelSpec{Workload: name})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,25 +147,25 @@ func TestIntegrationFigureDriversSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	s, err := core.NewSession(core.Config{WindowCycles: 40_000})
+	r, err := exp.NewRunner(0, core.WithWindow(40_000))
 	if err != nil {
 		t.Fatal(err)
 	}
 	st := exp.Study{
-		Session: s,
-		Pairs:   []workloads.Pair{{QoS: "sgemm", NonQoS: "lbm"}, {QoS: "lbm", NonQoS: "sgemm"}},
-		Trios:   []workloads.Trio{{A: "sgemm", B: "mri-q", C: "lbm"}},
-		Goals:   []float64{0.5},
-		Goals2:  []float64{0.3},
+		Runner: r,
+		Pairs:  []workloads.Pair{{QoS: "sgemm", NonQoS: "lbm"}, {QoS: "lbm", NonQoS: "sgemm"}},
+		Trios:  []workloads.Trio{{A: "sgemm", B: "mri-q", C: "lbm"}},
+		Goals:  []float64{0.5},
+		Goals2: []float64{0.3},
 	}
-	drivers := map[string]func(exp.Study) (*exp.Table, error){
+	drivers := map[string]func(context.Context, exp.Study) (*exp.Table, error){
 		"fig5": exp.Fig5, "fig6a": exp.Fig6a, "fig6b": exp.Fig6b,
 		"fig6c": exp.Fig6c, "fig7": exp.Fig7, "fig8a": exp.Fig8a,
 		"fig8b": exp.Fig8b, "fig8c": exp.Fig8c, "fig9": exp.Fig9,
 		"fig10": exp.Fig10, "fig11": exp.Fig11, "fig14": exp.Fig14,
 	}
 	for name, fn := range drivers {
-		tbl, err := fn(st)
+		tbl, err := fn(context.Background(), st)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

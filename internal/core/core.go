@@ -5,8 +5,8 @@
 //
 // Typical use:
 //
-//	s, _ := core.NewSession(core.Config{})
-//	res, _ := s.Run([]core.KernelSpec{
+//	s, _ := core.NewSession()
+//	res, _ := s.Run(ctx, []core.KernelSpec{
 //	    {Workload: "sgemm", GoalFrac: 0.8}, // QoS kernel: 80% of isolated
 //	    {Workload: "lbm"},                  // non-QoS kernel
 //	}, core.SchemeRollover)
@@ -14,9 +14,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/gpu"
@@ -26,6 +27,19 @@ import (
 	"repro/internal/qos"
 	"repro/internal/spart"
 	"repro/internal/workloads"
+)
+
+// Sentinel errors callers can test with errors.Is instead of matching
+// error text.
+var (
+	// ErrUnknownScheme is returned by ParseScheme for unrecognized names.
+	ErrUnknownScheme = errors.New("core: unknown scheme")
+	// ErrUnknownWorkload is returned when a KernelSpec names a benchmark
+	// that is not in the workloads suite.
+	ErrUnknownWorkload = errors.New("core: unknown workload")
+	// ErrBadGoal is returned for malformed QoS goals (negative values or
+	// fractions above 1).
+	ErrBadGoal = errors.New("core: bad QoS goal")
 )
 
 // Scheme selects the sharing/QoS management policy for a run.
@@ -77,6 +91,53 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
+// Name returns the canonical lowercase identifier ParseScheme accepts,
+// the form used by command-line flags and CSV output.
+func (s Scheme) Name() string {
+	switch s {
+	case SchemeNone:
+		return "none"
+	case SchemeNaive:
+		return "naive"
+	case SchemeNaiveHistory:
+		return "naive-history"
+	case SchemeElastic:
+		return "elastic"
+	case SchemeRollover:
+		return "rollover"
+	case SchemeRolloverTime:
+		return "rollover-time"
+	case SchemeSpart:
+		return "spart"
+	case SchemeFair:
+		return "fair"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Schemes returns every scheme in declaration order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeNone, SchemeNaive, SchemeNaiveHistory, SchemeElastic,
+		SchemeRollover, SchemeRolloverTime, SchemeSpart, SchemeFair}
+}
+
+// ParseScheme resolves a scheme name (case-insensitive; both the
+// canonical Name form and the display String form are accepted). Unknown
+// names return an error wrapping ErrUnknownScheme.
+func ParseScheme(name string) (Scheme, error) {
+	needle := strings.ToLower(strings.TrimSpace(name))
+	for _, s := range Schemes() {
+		if needle == s.Name() || needle == strings.ToLower(s.String()) {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(Schemes()))
+	for _, s := range Schemes() {
+		names = append(names, s.Name())
+	}
+	return 0, fmt.Errorf("%w %q (known: %s)", ErrUnknownScheme, name, strings.Join(names, ", "))
+}
+
 // qosScheme maps facade schemes to qos package schemes.
 func (s Scheme) qosScheme() (qos.Scheme, bool) {
 	switch s {
@@ -121,7 +182,10 @@ func (ks KernelSpec) name() string {
 	return "?"
 }
 
-// Config configures a Session.
+// Config configures a Session built via the deprecated
+// NewSessionFromConfig constructor. New code should pass functional
+// options (WithGPU, WithWindow, WithQoSOptions, WithPowerCosts,
+// WithSeed) to NewSession instead.
 type Config struct {
 	// GPU is the device configuration; the zero value means
 	// config.Base() (the paper's Table 1).
@@ -137,16 +201,25 @@ type Config struct {
 }
 
 // Session runs simulations under one fixed configuration and caches
-// isolated-IPC measurements. A Session is safe for concurrent use: the
-// experiment harness fans independent co-runs out across CPUs.
+// isolated-IPC measurements. A Session is safe for concurrent use; the
+// parallel sweep runner nevertheless gives each worker its own Session
+// (sharing only the synchronized isolated-IPC cache) so no simulation
+// state is ever shared between goroutines.
 type Session struct {
 	cfg      Config
-	mu       sync.Mutex
-	isolated map[string]float64
+	seed     uint64
+	isolated *IsolatedCache
 }
 
-// NewSession validates the configuration and returns a Session.
-func NewSession(cfg Config) (*Session, error) {
+// NewSession applies the options, validates the resulting configuration
+// and returns a Session. With no options it models the paper's Table 1
+// GPU over a 200000-cycle window.
+func NewSession(opts ...Option) (*Session, error) {
+	st := defaultSettings()
+	for _, o := range opts {
+		o(&st)
+	}
+	cfg := st.cfg
 	if cfg.GPU.NumSMs == 0 {
 		cfg.GPU = config.Base()
 	}
@@ -159,7 +232,11 @@ func NewSession(cfg Config) (*Session, error) {
 	if cfg.WindowCycles < 2*cfg.GPU.EpochLength {
 		return nil, errors.New("core: window must cover at least two epochs")
 	}
-	return &Session{cfg: cfg, isolated: make(map[string]float64)}, nil
+	cache := st.cache
+	if cache == nil {
+		cache = NewIsolatedCache()
+	}
+	return &Session{cfg: cfg, seed: st.seed, isolated: cache}, nil
 }
 
 // GPUConfig returns the session's device configuration.
@@ -168,43 +245,44 @@ func (s *Session) GPUConfig() config.GPU { return s.cfg.GPU }
 // Window returns the measurement window in cycles.
 func (s *Session) Window() int64 { return s.cfg.WindowCycles }
 
+// Seed returns the profile-expansion seed.
+func (s *Session) Seed() uint64 { return s.seed }
+
 // buildKernel materializes a spec into a kernel with runtime slot id.
-func buildKernel(spec KernelSpec, slot int) (*kern.Kernel, error) {
+func (s *Session) buildKernel(spec KernelSpec, slot int) (*kern.Kernel, error) {
 	if spec.Workload != "" {
-		return workloads.Kernel(spec.Workload, slot)
+		p, err := workloads.ByName(spec.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("%w %q", ErrUnknownWorkload, spec.Workload)
+		}
+		return kern.Build(slot, p, s.seed)
 	}
 	if spec.Profile != nil {
-		return kern.Build(slot, *spec.Profile, workloads.Seed)
+		return kern.Build(slot, *spec.Profile, s.seed)
 	}
 	return nil, errors.New("core: spec needs Workload or Profile")
 }
 
 // IsolatedIPC measures (and caches) the kernel's thread-IPC when running
-// alone on the whole GPU for the session window.
-func (s *Session) IsolatedIPC(spec KernelSpec) (float64, error) {
-	key := spec.name()
-	s.mu.Lock()
-	v, ok := s.isolated[key]
-	s.mu.Unlock()
-	if ok {
-		return v, nil
-	}
-	k, err := buildKernel(spec, 0)
-	if err != nil {
-		return 0, err
-	}
-	g, err := gpu.New(s.cfg.GPU, []*kern.Kernel{k})
-	if err != nil {
-		return 0, err
-	}
-	g.Run(s.cfg.WindowCycles)
-	ipc := g.IPC(0)
-	s.mu.Lock()
-	// Two goroutines may race to measure the same kernel; both compute
-	// the identical deterministic value, so last-write-wins is fine.
-	s.isolated[key] = ipc
-	s.mu.Unlock()
-	return ipc, nil
+// alone on the whole GPU for the session window. Concurrent requests for
+// the same kernel measure it once (singleflight); the cache may be shared
+// across sessions via WithIsolatedCache. The context cancels the
+// underlying simulation at epoch granularity.
+func (s *Session) IsolatedIPC(ctx context.Context, spec KernelSpec) (float64, error) {
+	return s.isolated.ipc(spec.name(), func() (float64, error) {
+		k, err := s.buildKernel(spec, 0)
+		if err != nil {
+			return 0, err
+		}
+		g, err := gpu.New(s.cfg.GPU, []*kern.Kernel{k})
+		if err != nil {
+			return 0, err
+		}
+		if err := g.RunCtx(ctx, s.cfg.WindowCycles); err != nil {
+			return 0, err
+		}
+		return g.IPC(0), nil
+	})
 }
 
 // KernelResult reports one kernel's outcome in a co-run.
@@ -238,8 +316,10 @@ type Result struct {
 
 // Run co-executes the specs under the given scheme for the session
 // window and reports per-kernel outcomes. Isolated IPCs are measured (or
-// taken from cache) first to resolve fractional goals.
-func (s *Session) Run(specs []KernelSpec, scheme Scheme) (*Result, error) {
+// taken from cache) first to resolve fractional goals. Cancellation of
+// ctx is honored at epoch boundaries of the cycle loop and returns the
+// context's error.
+func (s *Session) Run(ctx context.Context, specs []KernelSpec, scheme Scheme) (*Result, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("core: no kernels")
 	}
@@ -247,12 +327,15 @@ func (s *Session) Run(specs []KernelSpec, scheme Scheme) (*Result, error) {
 	goals := make([]float64, len(specs))
 	isolated := make([]float64, len(specs))
 	for i, spec := range specs {
-		k, err := buildKernel(spec, i)
+		k, err := s.buildKernel(spec, i)
 		if err != nil {
 			return nil, err
 		}
 		kernels[i] = k
-		iso, err := s.IsolatedIPC(spec)
+		if spec.GoalFrac < 0 || spec.GoalIPC < 0 {
+			return nil, fmt.Errorf("%w: negative goal for %s", ErrBadGoal, spec.name())
+		}
+		iso, err := s.IsolatedIPC(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +345,7 @@ func (s *Session) Run(specs []KernelSpec, scheme Scheme) (*Result, error) {
 			goals[i] = spec.GoalIPC
 		case spec.GoalFrac > 0:
 			if spec.GoalFrac > 1 {
-				return nil, fmt.Errorf("core: GoalFrac %.2f > 1 for %s", spec.GoalFrac, spec.name())
+				return nil, fmt.Errorf("%w: GoalFrac %.2f > 1 for %s", ErrBadGoal, spec.GoalFrac, spec.name())
 			}
 			goals[i] = spec.GoalFrac * iso
 		}
@@ -275,7 +358,9 @@ func (s *Session) Run(specs []KernelSpec, scheme Scheme) (*Result, error) {
 	if err := installScheme(g, scheme, goals, isolated, s.cfg.QoSOptions); err != nil {
 		return nil, err
 	}
-	g.Run(s.cfg.WindowCycles)
+	if err := g.RunCtx(ctx, s.cfg.WindowCycles); err != nil {
+		return nil, err
+	}
 
 	costs := power.DefaultCosts()
 	if s.cfg.PowerCosts != nil {

@@ -1,17 +1,30 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/config"
 	"repro/internal/kern"
 )
 
-// fastConfig is a small device + short window for facade tests.
-func fastConfig() Config {
+// fastOpts is a small device + short window for facade tests.
+func fastOpts() []Option {
 	cfg := config.Base()
 	cfg.NumSMs = 4
-	return Config{GPU: cfg, WindowCycles: 40_000}
+	return []Option{WithGPU(cfg), WithWindow(40_000)}
+}
+
+func fastSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func customProfile(name string) *kern.Profile {
@@ -27,12 +40,12 @@ func customProfile(name string) *kern.Profile {
 }
 
 func TestNewSessionDefaults(t *testing.T) {
-	s, err := NewSession(Config{})
+	s, err := NewSession()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.GPUConfig().NumSMs != 16 {
-		t.Fatal("zero config did not default to Table 1")
+		t.Fatal("optionless session did not default to Table 1")
 	}
 	if s.Window() != 200_000 {
 		t.Fatalf("default window = %d", s.Window())
@@ -40,46 +53,225 @@ func TestNewSessionDefaults(t *testing.T) {
 }
 
 func TestNewSessionRejectsShortWindow(t *testing.T) {
-	if _, err := NewSession(Config{WindowCycles: 100}); err == nil {
+	if _, err := NewSession(WithWindow(100)); err == nil {
 		t.Fatal("accepted a window shorter than two epochs")
 	}
 }
 
+// TestNewSessionFromConfig checks the deprecated constructor builds the
+// same session the options would.
+func TestNewSessionFromConfig(t *testing.T) {
+	cfg := config.Base()
+	cfg.NumSMs = 4
+	old, err := NewSessionFromConfig(Config{GPU: cfg, WindowCycles: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewSession(WithGPU(cfg), WithWindow(40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.GPUConfig() != opt.GPUConfig() || old.Window() != opt.Window() {
+		t.Fatal("Config and options constructors disagree")
+	}
+	ctx := context.Background()
+	specs := []KernelSpec{
+		{Profile: customProfile("a"), GoalFrac: 0.5},
+		{Profile: customProfile("b")},
+	}
+	a, err := old.Run(ctx, specs, SchemeRollover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := opt.Run(ctx, specs, SchemeRollover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kernels[0].IPC != b.Kernels[0].IPC {
+		t.Fatal("Config-built session diverged from options-built session")
+	}
+}
+
+// TestOptionOrder checks later options override earlier ones — the
+// property Runner.With relies on to derive ablation runners.
+func TestOptionOrder(t *testing.T) {
+	small := config.Base()
+	small.NumSMs = 4
+	s, err := NewSession(WithGPU(config.Base()), WithGPU(small), WithWindow(40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GPUConfig().NumSMs != 4 {
+		t.Fatalf("later WithGPU did not win: %d SMs", s.GPUConfig().NumSMs)
+	}
+}
+
+func TestWithSeed(t *testing.T) {
+	a, err := NewSession(append(fastOpts(), WithSeed(1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seed() != 1 {
+		t.Fatalf("Seed() = %d", a.Seed())
+	}
+	b := fastSession(t)
+	ctx := context.Background()
+	spec := KernelSpec{Workload: "lbm"}
+	x, err := a.IsolatedIPC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := b.IsolatedIPC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x == y {
+		t.Fatal("different seeds produced identical isolated IPC")
+	}
+}
+
 func TestIsolatedIPCCached(t *testing.T) {
-	s, _ := NewSession(fastConfig())
+	s := fastSession(t)
+	ctx := context.Background()
 	spec := KernelSpec{Profile: customProfile("c")}
-	a, err := s.IsolatedIPC(spec)
+	a, err := s.IsolatedIPC(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a <= 0 {
 		t.Fatal("no isolated progress")
 	}
-	b, _ := s.IsolatedIPC(spec)
+	b, _ := s.IsolatedIPC(ctx, spec)
 	if a != b {
 		t.Fatal("isolated IPC changed between calls (cache broken)")
 	}
 }
 
+// TestSharedIsolatedCacheSingleflight checks that sessions sharing one
+// IsolatedCache compute each baseline exactly once, even when many
+// goroutines ask concurrently — the property the sweep runner relies on.
+func TestSharedIsolatedCacheSingleflight(t *testing.T) {
+	var computes atomic.Int64
+	cache := NewIsolatedCache()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := cache.ipc("k", func() (float64, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("ipc = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("baseline computed %d times, want 1", n)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cache.Len())
+	}
+}
+
+// TestIsolatedCacheEvictsErrors checks a failed (e.g. canceled)
+// computation does not poison the cache: the next caller retries.
+func TestIsolatedCacheEvictsErrors(t *testing.T) {
+	cache := NewIsolatedCache()
+	boom := errors.New("boom")
+	if _, err := cache.ipc("k", func() (float64, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("failed entry not evicted")
+	}
+	v, err := cache.ipc("k", func() (float64, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after failure: %v, %v", v, err)
+	}
+}
+
+func TestSessionsShareIsolatedCache(t *testing.T) {
+	cache := NewIsolatedCache()
+	a, err := NewSession(append(fastOpts(), WithIsolatedCache(cache))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(append(fastOpts(), WithIsolatedCache(cache))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := KernelSpec{Workload: "sgemm"}
+	x, err := a.IsolatedIPC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := b.IsolatedIPC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != y {
+		t.Fatal("sessions sharing a cache disagree on the isolated baseline")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("shared cache holds %d entries, want 1", cache.Len())
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	s, _ := NewSession(fastConfig())
-	if _, err := s.Run(nil, SchemeRollover); err == nil {
+	s := fastSession(t)
+	ctx := context.Background()
+	if _, err := s.Run(ctx, nil, SchemeRollover); err == nil {
 		t.Fatal("accepted empty spec list")
 	}
-	if _, err := s.Run([]KernelSpec{{}}, SchemeRollover); err == nil {
+	if _, err := s.Run(ctx, []KernelSpec{{}}, SchemeRollover); err == nil {
 		t.Fatal("accepted spec without workload or profile")
 	}
-	if _, err := s.Run([]KernelSpec{
+	if _, err := s.Run(ctx, []KernelSpec{
 		{Profile: customProfile("a"), GoalFrac: 1.5},
 		{Profile: customProfile("b")},
-	}, SchemeRollover); err == nil {
-		t.Fatal("accepted GoalFrac > 1")
+	}, SchemeRollover); !errors.Is(err, ErrBadGoal) {
+		t.Fatalf("GoalFrac > 1: err = %v, want ErrBadGoal", err)
+	}
+	if _, err := s.Run(ctx, []KernelSpec{
+		{Profile: customProfile("a"), GoalFrac: -0.5},
+		{Profile: customProfile("b")},
+	}, SchemeRollover); !errors.Is(err, ErrBadGoal) {
+		t.Fatalf("negative GoalFrac: err = %v, want ErrBadGoal", err)
+	}
+	if _, err := s.Run(ctx, []KernelSpec{
+		{Workload: "no-such-kernel"},
+		{Profile: customProfile("b")},
+	}, SchemeRollover); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("unknown workload: err = %v, want ErrUnknownWorkload", err)
+	}
+}
+
+// TestRunCanceled checks ctx cancellation aborts a run promptly with
+// context.Canceled instead of returning a partial Result.
+func TestRunCanceled(t *testing.T) {
+	s := fastSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Run(ctx, []KernelSpec{
+		{Profile: customProfile("a"), GoalFrac: 0.5},
+		{Profile: customProfile("b")},
+	}, SchemeRollover)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := s.IsolatedIPC(ctx, KernelSpec{Profile: customProfile("a")}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IsolatedIPC err = %v, want context.Canceled", err)
 	}
 }
 
 func TestRunReachesEasyGoal(t *testing.T) {
-	s, _ := NewSession(fastConfig())
-	res, err := s.Run([]KernelSpec{
+	s := fastSession(t)
+	res, err := s.Run(context.Background(), []KernelSpec{
 		{Profile: customProfile("a"), GoalFrac: 0.4},
 		{Profile: customProfile("b")},
 	}, SchemeRollover)
@@ -109,14 +301,14 @@ func TestRunReachesEasyGoal(t *testing.T) {
 }
 
 func TestRunAllSchemes(t *testing.T) {
-	s, _ := NewSession(fastConfig())
+	s := fastSession(t)
 	specs := []KernelSpec{
 		{Profile: customProfile("a"), GoalFrac: 0.5},
 		{Profile: customProfile("b")},
 	}
 	for _, scheme := range []Scheme{SchemeNone, SchemeNaive, SchemeNaiveHistory,
 		SchemeElastic, SchemeRollover, SchemeRolloverTime, SchemeSpart} {
-		res, err := s.Run(specs, scheme)
+		res, err := s.Run(context.Background(), specs, scheme)
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
@@ -135,8 +327,8 @@ func TestRunDeterministic(t *testing.T) {
 		{Profile: customProfile("b")},
 	}
 	run := func() float64 {
-		s, _ := NewSession(fastConfig())
-		res, err := s.Run(specs, SchemeRollover)
+		s, _ := NewSession(fastOpts()...)
+		res, err := s.Run(context.Background(), specs, SchemeRollover)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,8 +340,8 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestWorkloadSpecsResolve(t *testing.T) {
-	s, _ := NewSession(fastConfig())
-	res, err := s.Run([]KernelSpec{
+	s := fastSession(t)
+	res, err := s.Run(context.Background(), []KernelSpec{
 		{Workload: "sgemm", GoalFrac: 0.3},
 		{Workload: "lbm"},
 	}, SchemeRollover)
@@ -162,8 +354,8 @@ func TestWorkloadSpecsResolve(t *testing.T) {
 }
 
 func TestAbsoluteGoalOverridesFraction(t *testing.T) {
-	s, _ := NewSession(fastConfig())
-	res, err := s.Run([]KernelSpec{
+	s := fastSession(t)
+	res, err := s.Run(context.Background(), []KernelSpec{
 		{Profile: customProfile("a"), GoalFrac: 0.9, GoalIPC: 12.5},
 		{Profile: customProfile("b")},
 	}, SchemeRollover)
@@ -180,6 +372,31 @@ func TestSchemeStrings(t *testing.T) {
 		if s.String() == "" {
 			t.Fatalf("scheme %d has no name", int(s))
 		}
+	}
+}
+
+// TestParseSchemeRoundTrip checks every scheme parses from both its
+// canonical Name and its String form.
+func TestParseSchemeRoundTrip(t *testing.T) {
+	all := Schemes()
+	if len(all) != 8 {
+		t.Fatalf("Schemes() lists %d schemes", len(all))
+	}
+	for _, sc := range all {
+		got, err := ParseScheme(sc.Name())
+		if err != nil || got != sc {
+			t.Fatalf("ParseScheme(%q) = %v, %v", sc.Name(), got, err)
+		}
+		got, err = ParseScheme(sc.String())
+		if err != nil || got != sc {
+			t.Fatalf("ParseScheme(%q) = %v, %v", sc.String(), got, err)
+		}
+	}
+}
+
+func TestParseSchemeUnknown(t *testing.T) {
+	if _, err := ParseScheme("quantum"); !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
 	}
 }
 
@@ -213,8 +430,8 @@ func TestPCIeTransferSeconds(t *testing.T) {
 }
 
 func TestSchemeFairRunsWithoutGoals(t *testing.T) {
-	s, _ := NewSession(fastConfig())
-	res, err := s.Run([]KernelSpec{
+	s := fastSession(t)
+	res, err := s.Run(context.Background(), []KernelSpec{
 		{Profile: customProfile("a")},
 		{Profile: customProfile("b")},
 	}, SchemeFair)

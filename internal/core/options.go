@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/power"
+	"repro/internal/qos"
+	"repro/internal/workloads"
+)
+
+// settings collects everything an Option can configure before validation.
+type settings struct {
+	cfg   Config
+	seed  uint64
+	cache *IsolatedCache
+}
+
+// Option configures a Session (see NewSession). Options apply in order,
+// so a later WithGPU overrides an earlier one — derived sessions (for
+// example an ablation that changes one knob) can append to a base option
+// list.
+type Option func(*settings)
+
+// WithGPU selects the device configuration. The default is config.Base()
+// (the paper's Table 1).
+func WithGPU(cfg config.GPU) Option {
+	return func(s *settings) { s.cfg.GPU = cfg }
+}
+
+// WithWindow sets the measurement window per run in cycles. The default
+// is 200000. The paper simulates 2M cycles; shorter windows trade
+// fidelity for speed and are recorded in EXPERIMENTS.md.
+func WithWindow(cycles int64) Option {
+	return func(s *settings) { s.cfg.WindowCycles = cycles }
+}
+
+// WithQoSOptions tunes the QoS manager (used by the ablation studies).
+func WithQoSOptions(opts qos.Options) Option {
+	return func(s *settings) { s.cfg.QoSOptions = opts }
+}
+
+// WithPowerCosts overrides the event-energy table of the power model.
+func WithPowerCosts(costs power.Costs) Option {
+	return func(s *settings) { s.cfg.PowerCosts = &costs }
+}
+
+// WithSeed sets the deterministic seed used to expand kernel profiles.
+// The default is workloads.Seed; every stochastic decision in a run is a
+// pure function of this seed, so two sessions with equal configuration
+// and seed produce bit-identical results.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// WithIsolatedCache shares an isolated-IPC cache between sessions. All
+// sessions sharing a cache MUST be built with identical configuration and
+// seed (isolated IPC depends on both); the parallel sweep runner uses
+// this so the per-workload isolated baselines are measured exactly once
+// across its worker pool.
+func WithIsolatedCache(c *IsolatedCache) Option {
+	return func(s *settings) { s.cache = c }
+}
+
+// withConfig seeds the option state from a legacy Config value.
+func withConfig(cfg Config) Option {
+	return func(s *settings) { s.cfg = cfg }
+}
+
+// NewSessionFromConfig builds a Session from the legacy Config struct.
+//
+// Deprecated: use NewSession with functional options (WithGPU,
+// WithWindow, WithQoSOptions, WithPowerCosts, WithSeed). This constructor
+// is kept for one release to ease migration and will be removed.
+func NewSessionFromConfig(cfg Config) (*Session, error) {
+	return NewSession(withConfig(cfg))
+}
+
+// defaultSettings returns the option state before user options apply.
+func defaultSettings() settings {
+	return settings{seed: workloads.Seed}
+}

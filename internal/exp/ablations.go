@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -8,29 +9,18 @@ import (
 	"repro/internal/workloads"
 )
 
-// sessionLike rebuilds a session with modified QoS options but the same
-// GPU configuration and window (ablations must hold everything else
-// fixed).
-func sessionWith(base *core.Session, opts qos.Options) (*core.Session, error) {
-	return core.NewSession(core.Config{
-		GPU:          base.GPUConfig(),
-		WindowCycles: base.Window(),
-		QoSOptions:   opts,
-	})
-}
-
 // AblateHistory reproduces the Section 4.8 history-adjustment ablation:
 // Rollover with and without the α factor.
-func AblateHistory(st Study) (*Table, error) {
-	on, err := PairSweep(st.Session, st.Pairs, st.Goals, core.SchemeRollover, st.progress("history-on"))
+func AblateHistory(ctx context.Context, st Study) (*Table, error) {
+	on, err := st.Runner.PairSweep(ctx, st.Pairs, st.Goals, core.SchemeRollover, st.progress("history-on"))
 	if err != nil {
 		return nil, err
 	}
-	noHist, err := sessionWith(st.Session, qos.Options{DisableHistory: true})
+	noHist, err := st.Runner.With(core.WithQoSOptions(qos.Options{DisableHistory: true}))
 	if err != nil {
 		return nil, err
 	}
-	off, err := PairSweep(noHist, st.Pairs, st.Goals, core.SchemeRollover, st.progress("history-off"))
+	off, err := noHist.PairSweep(ctx, st.Pairs, st.Goals, core.SchemeRollover, st.progress("history-off"))
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +43,7 @@ func AblateHistory(st Study) (*Table, error) {
 // AblateStatic reproduces the Section 4.8 static-resource-management
 // ablation on M+M pairs: non-QoS throughput with and without run-time TB
 // adjustment (paper: +13.3% with).
-func AblateStatic(st Study) (*Table, error) {
+func AblateStatic(ctx context.Context, st Study) (*Table, error) {
 	var mm []workloads.Pair
 	for _, p := range st.Pairs {
 		cls, err := workloads.PairClass(p.QoS, p.NonQoS)
@@ -67,15 +57,15 @@ func AblateStatic(st Study) (*Table, error) {
 	if len(mm) == 0 {
 		return nil, fmt.Errorf("exp: study subset has no M+M pairs")
 	}
-	on, err := PairSweep(st.Session, mm, st.Goals, core.SchemeRollover, st.progress("static-on"))
+	on, err := st.Runner.PairSweep(ctx, mm, st.Goals, core.SchemeRollover, st.progress("static-on"))
 	if err != nil {
 		return nil, err
 	}
-	noAdj, err := sessionWith(st.Session, qos.Options{DisableStaticAdjust: true})
+	noAdj, err := st.Runner.With(core.WithQoSOptions(qos.Options{DisableStaticAdjust: true}))
 	if err != nil {
 		return nil, err
 	}
-	off, err := PairSweep(noAdj, mm, st.Goals, core.SchemeRollover, st.progress("static-off"))
+	off, err := noAdj.PairSweep(ctx, mm, st.Goals, core.SchemeRollover, st.progress("static-off"))
 	if err != nil {
 		return nil, err
 	}
@@ -103,20 +93,20 @@ func AblateStatic(st Study) (*Table, error) {
 // AblatePreemption reproduces the Section 4.8 preemption-overhead study:
 // non-QoS throughput with real context-switch costs vs free preemption
 // (paper: 1.93% overhead).
-func AblatePreemption(st Study) (*Table, error) {
-	withCost, err := PairSweep(st.Session, st.Pairs, st.Goals, core.SchemeRollover, st.progress("preempt-cost"))
+func AblatePreemption(ctx context.Context, st Study) (*Table, error) {
+	withCost, err := st.Runner.PairSweep(ctx, st.Pairs, st.Goals, core.SchemeRollover, st.progress("preempt-cost"))
 	if err != nil {
 		return nil, err
 	}
 	// Free preemption: rebuild with a zero-cost engine via config.
-	cfg := st.Session.GPUConfig()
+	cfg := st.Runner.GPUConfig()
 	cfg.CtxSaveBWBytes = 1 << 30 // effectively instantaneous context moves
 	cfg.SMDrainPenalty = 0
-	free, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: st.Session.Window()})
+	free, err := st.Runner.With(core.WithGPU(cfg))
 	if err != nil {
 		return nil, err
 	}
-	noCost, err := PairSweep(free, st.Pairs, st.Goals, core.SchemeRollover, st.progress("preempt-free"))
+	noCost, err := free.PairSweep(ctx, st.Pairs, st.Goals, core.SchemeRollover, st.progress("preempt-free"))
 	if err != nil {
 		return nil, err
 	}
@@ -143,20 +133,20 @@ func AblatePreemption(st Study) (*Table, error) {
 
 // AblateEpochLength sweeps the quota epoch length (the paper fixes 10K
 // cycles citing prior work; this shows the sensitivity).
-func AblateEpochLength(st Study, lengths []int64) (*Table, error) {
+func AblateEpochLength(ctx context.Context, st Study, lengths []int64) (*Table, error) {
 	if len(lengths) == 0 {
 		lengths = []int64{5_000, 10_000, 20_000, 40_000}
 	}
 	t := &Table{ID: "Ablation epoch", Title: "Epoch length sensitivity (Rollover)",
 		Header: []string{"Epoch", "QoSreach", "Non-QoS tput"}}
 	for _, l := range lengths {
-		cfg := st.Session.GPUConfig()
+		cfg := st.Runner.GPUConfig()
 		cfg.EpochLength = l
-		s, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: st.Session.Window()})
+		r, err := st.Runner.With(core.WithGPU(cfg))
 		if err != nil {
 			return nil, err
 		}
-		cases, err := PairSweep(s, st.Pairs, st.Goals, core.SchemeRollover, st.progress(fmt.Sprintf("epoch-%d", l)))
+		cases, err := r.PairSweep(ctx, st.Pairs, st.Goals, core.SchemeRollover, st.progress(fmt.Sprintf("epoch-%d", l)))
 		if err != nil {
 			return nil, err
 		}
@@ -180,18 +170,18 @@ func AblateEpochLength(st Study, lengths []int64) (*Table, error) {
 
 // AblateNonQoSInit sweeps the initial artificial IPC of non-QoS kernels
 // (paper Section 3.5 claims minimal impact on the final outcome).
-func AblateNonQoSInit(st Study, inits []float64) (*Table, error) {
+func AblateNonQoSInit(ctx context.Context, st Study, inits []float64) (*Table, error) {
 	if len(inits) == 0 {
 		inits = []float64{1, 8, 32, 128}
 	}
 	t := &Table{ID: "Ablation nq-init", Title: "Non-QoS initial IPC sensitivity (Rollover)",
 		Header: []string{"Init IPC", "QoSreach", "Non-QoS tput"}}
 	for _, init := range inits {
-		s, err := sessionWith(st.Session, qos.Options{NonQoSInitIPC: init})
+		r, err := st.Runner.With(core.WithQoSOptions(qos.Options{NonQoSInitIPC: init}))
 		if err != nil {
 			return nil, err
 		}
-		cases, err := PairSweep(s, st.Pairs, st.Goals, core.SchemeRollover, st.progress(fmt.Sprintf("init-%.0f", init)))
+		cases, err := r.PairSweep(ctx, st.Pairs, st.Goals, core.SchemeRollover, st.progress(fmt.Sprintf("init-%.0f", init)))
 		if err != nil {
 			return nil, err
 		}

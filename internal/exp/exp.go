@@ -4,13 +4,16 @@
 // throughput, QoS overshoot, miss histograms and energy efficiency.
 //
 // Every figure of the paper has a driver in figures.go returning a Table
-// that cmd/qossim prints. Sweeps are deterministic; a Config controls the
+// that cmd/qossim prints. Sweeps are deterministic; a Study controls the
 // subset of pairs/trios/goals so benchmarks can run reduced versions of
-// the full 900/600-case studies.
+// the full 900/600-case studies. The Runner in runner.go fans case grids
+// out over a worker pool with bit-identical results to the serial sweeps.
 package exp
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/workloads"
@@ -48,24 +51,62 @@ func (c PairCase) QoSKernel() core.KernelResult { return c.Res.Kernels[0] }
 // NonQoSKernel returns the non-QoS kernel's result.
 func (c PairCase) NonQoSKernel() core.KernelResult { return c.Res.Kernels[1] }
 
-// PairSweep runs every pair at every goal under the scheme. Progress (if
-// non-nil) is invoked after each case for long-run visibility.
-func PairSweep(s *core.Session, pairs []workloads.Pair, goals []float64, scheme core.Scheme, progress func(done, total int)) ([]PairCase, error) {
+// pairSpecs builds the two-kernel spec list for one pair case.
+func pairSpecs(p workloads.Pair, goal float64) []core.KernelSpec {
+	return []core.KernelSpec{
+		{Workload: p.QoS, GoalFrac: goal},
+		{Workload: p.NonQoS},
+	}
+}
+
+// trioSpecs builds the three-kernel spec list for one trio case along
+// with its per-QoS-kernel goal list.
+func trioSpecs(t workloads.Trio, goal float64, nQoS int) ([]core.KernelSpec, []float64) {
+	specs := []core.KernelSpec{
+		{Workload: t.A, GoalFrac: goal},
+		{Workload: t.B},
+		{Workload: t.C},
+	}
+	qg := []float64{goal}
+	if nQoS == 2 {
+		specs[1].GoalFrac = goal
+		qg = []float64{goal, goal}
+	}
+	return specs, qg
+}
+
+// serialProgress emits Progress events for the in-order serial sweeps so
+// they feed the same stream the parallel Runner does.
+func serialProgress(stage string, total int, progress ProgressFunc) func(done int) {
+	if progress == nil {
+		return func(int) {}
+	}
+	start := time.Now()
+	return func(done int) {
+		p := Progress{Stage: stage, Done: done, Total: total, Elapsed: time.Since(start)}
+		if secs := p.Elapsed.Seconds(); secs > 0 {
+			p.CasesPerSec = float64(done) / secs
+			p.ETA = time.Duration(float64(total-done) / p.CasesPerSec * float64(time.Second))
+		}
+		progress(p)
+	}
+}
+
+// PairSweep runs every pair at every goal under the scheme, serially on
+// one session. Progress (if non-nil) is invoked after each case for
+// long-run visibility. Runner.PairSweep is the parallel equivalent and
+// produces identical results.
+func PairSweep(ctx context.Context, s *core.Session, pairs []workloads.Pair, goals []float64, scheme core.Scheme, progress ProgressFunc) ([]PairCase, error) {
 	out := make([]PairCase, 0, len(pairs)*len(goals))
-	total := len(pairs) * len(goals)
+	tick := serialProgress(scheme.String(), len(pairs)*len(goals), progress)
 	for _, p := range pairs {
 		for _, g := range goals {
-			res, err := s.Run([]core.KernelSpec{
-				{Workload: p.QoS, GoalFrac: g},
-				{Workload: p.NonQoS},
-			}, scheme)
+			res, err := s.Run(ctx, pairSpecs(p, g), scheme)
 			if err != nil {
 				return nil, fmt.Errorf("pair %s+%s @%.2f: %w", p.QoS, p.NonQoS, g, err)
 			}
 			out = append(out, PairCase{Pair: p, Goal: g, Scheme: scheme, Res: res})
-			if progress != nil {
-				progress(len(out), total)
-			}
+			tick(len(out))
 		}
 	}
 	return out, nil
@@ -80,35 +121,25 @@ type TrioCase struct {
 	Res      *core.Result
 }
 
-// TrioSweep runs every trio at every goal with nQoS QoS kernels (1 or 2).
-// For nQoS==1 the goal applies to the trio's first member; for nQoS==2
-// the same goal applies to the first two (the paper's 2x25%..2x70%).
-func TrioSweep(s *core.Session, trios []workloads.Trio, goals []float64, nQoS int, scheme core.Scheme, progress func(done, total int)) ([]TrioCase, error) {
+// TrioSweep runs every trio at every goal with nQoS QoS kernels (1 or 2),
+// serially on one session. For nQoS==1 the goal applies to the trio's
+// first member; for nQoS==2 the same goal applies to the first two (the
+// paper's 2x25%..2x70%). Runner.TrioSweep is the parallel equivalent.
+func TrioSweep(ctx context.Context, s *core.Session, trios []workloads.Trio, goals []float64, nQoS int, scheme core.Scheme, progress ProgressFunc) ([]TrioCase, error) {
 	if nQoS < 1 || nQoS > 2 {
 		return nil, fmt.Errorf("exp: nQoS must be 1 or 2, got %d", nQoS)
 	}
 	out := make([]TrioCase, 0, len(trios)*len(goals))
-	total := len(trios) * len(goals)
+	tick := serialProgress(scheme.String(), len(trios)*len(goals), progress)
 	for _, t := range trios {
 		for _, g := range goals {
-			specs := []core.KernelSpec{
-				{Workload: t.A, GoalFrac: g},
-				{Workload: t.B},
-				{Workload: t.C},
-			}
-			qg := []float64{g}
-			if nQoS == 2 {
-				specs[1].GoalFrac = g
-				qg = []float64{g, g}
-			}
-			res, err := s.Run(specs, scheme)
+			specs, qg := trioSpecs(t, g, nQoS)
+			res, err := s.Run(ctx, specs, scheme)
 			if err != nil {
 				return nil, fmt.Errorf("trio %s+%s+%s @%.2f: %w", t.A, t.B, t.C, g, err)
 			}
 			out = append(out, TrioCase{Trio: t, QoSGoals: qg, Scheme: scheme, Res: res})
-			if progress != nil {
-				progress(len(out), total)
-			}
+			tick(len(out))
 		}
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -108,15 +109,15 @@ func TestReachByQoSKernel(t *testing.T) {
 }
 
 func TestStudyReduction(t *testing.T) {
-	s, err := core.NewSession(core.Config{WindowCycles: 40_000})
+	r, err := NewRunner(1, core.WithWindow(40_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	full := FullStudy(s)
+	full := FullStudy(r)
 	if len(full.Pairs) != 90 || len(full.Trios) != 60 {
 		t.Fatalf("full study %d pairs / %d trios", len(full.Pairs), len(full.Trios))
 	}
-	red := ReducedStudy(s, 10)
+	red := ReducedStudy(r, 10)
 	if len(red.Pairs) != 9 {
 		t.Fatalf("reduced pairs = %d, want 9", len(red.Pairs))
 	}
@@ -148,13 +149,13 @@ func TestPairSweepSmoke(t *testing.T) {
 	}
 	cfg := config.Base()
 	cfg.NumSMs = 4
-	s, err := core.NewSession(core.Config{GPU: cfg, WindowCycles: 30_000})
+	s, err := core.NewSession(core.WithGPU(cfg), core.WithWindow(30_000))
 	if err != nil {
 		t.Fatal(err)
 	}
 	pairs := []workloads.Pair{{QoS: "sgemm", NonQoS: "lbm"}}
 	goals := []float64{0.4}
-	cases, err := PairSweep(s, pairs, goals, core.SchemeRollover, nil)
+	cases, err := PairSweep(context.Background(), s, pairs, goals, core.SchemeRollover, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,16 +174,16 @@ func TestTrioSweepSmoke(t *testing.T) {
 	}
 	cfg := config.Base()
 	cfg.NumSMs = 4
-	s, _ := core.NewSession(core.Config{GPU: cfg, WindowCycles: 30_000})
+	s, _ := core.NewSession(core.WithGPU(cfg), core.WithWindow(30_000))
 	trios := []workloads.Trio{{A: "sgemm", B: "mri-q", C: "lbm"}}
-	cases, err := TrioSweep(s, trios, []float64{0.25}, 2, core.SchemeRollover, nil)
+	cases, err := TrioSweep(context.Background(), s, trios, []float64{0.25}, 2, core.SchemeRollover, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(cases[0].QoSGoals) != 2 {
 		t.Fatal("2-QoS trio carries wrong goal count")
 	}
-	if _, err := TrioSweep(s, trios, []float64{0.25}, 3, core.SchemeRollover, nil); err == nil {
+	if _, err := TrioSweep(context.Background(), s, trios, []float64{0.25}, 3, core.SchemeRollover, nil); err == nil {
 		t.Fatal("accepted nQoS=3")
 	}
 }

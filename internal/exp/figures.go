@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,15 +56,16 @@ func (t *Table) String() string {
 
 // Study configures how much of the full evaluation a figure driver runs.
 // The paper's full study is 90 pairs x 10 goals (900 cases per scheme)
-// and 60 trios x 10 goals; Reduced trims both axes for quick runs.
+// and 60 trios x 10 goals; Reduced trims both axes for quick runs. All
+// sweeps execute on the Runner's worker pool.
 type Study struct {
-	Session *core.Session
-	Pairs   []workloads.Pair
-	Trios   []workloads.Trio
-	Goals   []float64 // pair/1-QoS-trio goal sweep
-	Goals2  []float64 // 2-QoS-trio goal sweep
-	// Progress receives sweep progress for long runs (may be nil).
-	Progress func(stage string, done, total int)
+	Runner *Runner
+	Pairs  []workloads.Pair
+	Trios  []workloads.Trio
+	Goals  []float64 // pair/1-QoS-trio goal sweep
+	Goals2 []float64 // 2-QoS-trio goal sweep
+	// Progress receives sweep progress events for long runs (may be nil).
+	Progress ProgressFunc
 
 	// cache memoizes pair sweeps across figure drivers (Figures 7, 8a,
 	// 9 and 14 all reduce the same Spart and Rollover sweeps).
@@ -71,24 +73,24 @@ type Study struct {
 }
 
 // FullStudy returns the paper's complete evaluation configuration.
-func FullStudy(s *core.Session) Study {
+func FullStudy(r *Runner) Study {
 	return Study{
-		Session: s,
-		Pairs:   workloads.Pairs(),
-		Trios:   workloads.Trios(),
-		Goals:   Goals(),
-		Goals2:  TwoQoSGoals(),
-		cache:   make(map[core.Scheme][]PairCase),
+		Runner: r,
+		Pairs:  workloads.Pairs(),
+		Trios:  workloads.Trios(),
+		Goals:  Goals(),
+		Goals2: TwoQoSGoals(),
+		cache:  make(map[core.Scheme][]PairCase),
 	}
 }
 
 // ReducedStudy returns a subsampled configuration sized for benchmarks:
 // every k-th pair/trio and every other goal.
-func ReducedStudy(s *core.Session, k int) Study {
+func ReducedStudy(r *Runner, k int) Study {
 	if k < 1 {
 		k = 1
 	}
-	st := FullStudy(s)
+	st := FullStudy(r)
 	st.Pairs = everyPair(st.Pairs, k)
 	st.Trios = everyTrio(st.Trios, k)
 	st.Goals = everyGoal(st.Goals, 2)
@@ -120,11 +122,16 @@ func everyGoal(in []float64, k int) []float64 {
 	return out
 }
 
-func (st Study) progress(stage string) func(done, total int) {
+// progress relabels the sweep's events with a figure-specific stage name
+// before forwarding them to the study's stream.
+func (st Study) progress(stage string) ProgressFunc {
 	if st.Progress == nil {
 		return nil
 	}
-	return func(done, total int) { st.Progress(stage, done, total) }
+	return func(p Progress) {
+		p.Stage = stage
+		st.Progress(p)
+	}
 }
 
 func pct(v float64) string       { return fmt.Sprintf("%.1f%%", 100*v) }
@@ -133,9 +140,9 @@ func goalLabel(g float64) string { return fmt.Sprintf("%.0f%%", 100*g) }
 
 // schemeSweep runs the pair sweep for several schemes, memoizing results
 // per scheme so successive figure drivers share them. The cache is keyed
-// by scheme only: it is valid because a Study's session, pair list and
+// by scheme only: it is valid because a Study's runner, pair list and
 // goal sweep are immutable once built.
-func (st Study) schemeSweep(schemes ...core.Scheme) (map[core.Scheme][]PairCase, error) {
+func (st Study) schemeSweep(ctx context.Context, schemes ...core.Scheme) (map[core.Scheme][]PairCase, error) {
 	out := make(map[core.Scheme][]PairCase, len(schemes))
 	for _, sc := range schemes {
 		if st.cache != nil {
@@ -144,7 +151,7 @@ func (st Study) schemeSweep(schemes ...core.Scheme) (map[core.Scheme][]PairCase,
 				continue
 			}
 		}
-		cases, err := PairSweep(st.Session, st.Pairs, st.Goals, sc, st.progress(sc.String()))
+		cases, err := st.Runner.PairSweep(ctx, st.Pairs, st.Goals, sc, st.progress(sc.String()))
 		if err != nil {
 			return nil, err
 		}
@@ -175,8 +182,8 @@ func Table1(cfg config.GPU) *Table {
 }
 
 // Fig5 reproduces Figure 5: the Naive+History miss-distance histogram.
-func Fig5(st Study) (*Table, error) {
-	cases, err := PairSweep(st.Session, st.Pairs, st.Goals, core.SchemeNaiveHistory, st.progress("fig5"))
+func Fig5(ctx context.Context, st Study) (*Table, error) {
+	cases, err := st.Runner.PairSweep(ctx, st.Pairs, st.Goals, core.SchemeNaiveHistory, st.progress("fig5"))
 	if err != nil {
 		return nil, err
 	}
@@ -195,9 +202,9 @@ func Fig5(st Study) (*Table, error) {
 }
 
 // Fig6a reproduces Figure 6a: pair QoSreach for Spart/Naive/Elastic/Rollover.
-func Fig6a(st Study) (*Table, error) {
+func Fig6a(ctx context.Context, st Study) (*Table, error) {
 	schemes := []core.Scheme{core.SchemeSpart, core.SchemeNaive, core.SchemeElastic, core.SchemeRollover}
-	bySch, err := st.schemeSweep(schemes...)
+	bySch, err := st.schemeSweep(ctx, schemes...)
 	if err != nil {
 		return nil, err
 	}
@@ -223,13 +230,13 @@ func Fig6a(st Study) (*Table, error) {
 }
 
 // trioFig runs the Figure 6b/6c (reach) or 8b/8c (throughput) trio study.
-func trioFig(st Study, nQoS int, goals []float64, throughput bool, id, title, paperNote string) (*Table, error) {
+func trioFig(ctx context.Context, st Study, nQoS int, goals []float64, throughput bool, id, title, paperNote string) (*Table, error) {
 	t := &Table{ID: id, Title: title, Header: []string{"Goal", "Spart", "Rollover"}}
-	spart, err := TrioSweep(st.Session, st.Trios, goals, nQoS, core.SchemeSpart, st.progress(id+"/spart"))
+	spart, err := st.Runner.TrioSweep(ctx, st.Trios, goals, nQoS, core.SchemeSpart, st.progress(id+"/spart"))
 	if err != nil {
 		return nil, err
 	}
-	roll, err := TrioSweep(st.Session, st.Trios, goals, nQoS, core.SchemeRollover, st.progress(id+"/rollover"))
+	roll, err := st.Runner.TrioSweep(ctx, st.Trios, goals, nQoS, core.SchemeRollover, st.progress(id+"/rollover"))
 	if err != nil {
 		return nil, err
 	}
@@ -261,20 +268,20 @@ func trioFig(st Study, nQoS int, goals []float64, throughput bool, id, title, pa
 }
 
 // Fig6b reproduces Figure 6b: trio QoSreach, one QoS kernel.
-func Fig6b(st Study) (*Table, error) {
-	return trioFig(st, 1, st.Goals, false, "Figure 6b", "QoSreach vs goal, trios with one QoS kernel",
+func Fig6b(ctx context.Context, st Study) (*Table, error) {
+	return trioFig(ctx, st, 1, st.Goals, false, "Figure 6b", "QoSreach vs goal, trios with one QoS kernel",
 		"paper: Rollover reaches QoS goals 18.8% more often than Spart")
 }
 
 // Fig6c reproduces Figure 6c: trio QoSreach, two QoS kernels.
-func Fig6c(st Study) (*Table, error) {
-	return trioFig(st, 2, st.Goals2, false, "Figure 6c", "QoSreach vs goal, trios with two QoS kernels",
+func Fig6c(ctx context.Context, st Study) (*Table, error) {
+	return trioFig(ctx, st, 2, st.Goals2, false, "Figure 6c", "QoSreach vs goal, trios with two QoS kernels",
 		"paper: Rollover +43.8% over Spart; Spart reaches no goal at (70%,70%)")
 }
 
 // Fig7 reproduces Figure 7: QoSreach per QoS benchmark and class.
-func Fig7(st Study) (*Table, error) {
-	bySch, err := st.schemeSweep(core.SchemeSpart, core.SchemeRollover)
+func Fig7(ctx context.Context, st Study) (*Table, error) {
+	bySch, err := st.schemeSweep(ctx, core.SchemeSpart, core.SchemeRollover)
 	if err != nil {
 		return nil, err
 	}
@@ -311,8 +318,8 @@ func Fig7(st Study) (*Table, error) {
 }
 
 // Fig8a reproduces Figure 8a: non-QoS normalized throughput, pairs.
-func Fig8a(st Study) (*Table, error) {
-	bySch, err := st.schemeSweep(core.SchemeSpart, core.SchemeRollover)
+func Fig8a(ctx context.Context, st Study) (*Table, error) {
+	bySch, err := st.schemeSweep(ctx, core.SchemeSpart, core.SchemeRollover)
 	if err != nil {
 		return nil, err
 	}
@@ -333,20 +340,20 @@ func Fig8a(st Study) (*Table, error) {
 }
 
 // Fig8b reproduces Figure 8b: non-QoS throughput, trios with one QoS kernel.
-func Fig8b(st Study) (*Table, error) {
-	return trioFig(st, 1, st.Goals, true, "Figure 8b", "Non-QoS throughput normalized to isolated, trios (1 QoS)",
+func Fig8b(ctx context.Context, st Study) (*Table, error) {
+	return trioFig(ctx, st, 1, st.Goals, true, "Figure 8b", "Non-QoS throughput normalized to isolated, trios (1 QoS)",
 		"paper: Rollover +19.9% over Spart; largest gain 75.5% at the 95% goal")
 }
 
 // Fig8c reproduces Figure 8c: non-QoS throughput, trios with two QoS kernels.
-func Fig8c(st Study) (*Table, error) {
-	return trioFig(st, 2, st.Goals2, true, "Figure 8c", "Non-QoS throughput normalized to isolated, trios (2 QoS)",
+func Fig8c(ctx context.Context, st Study) (*Table, error) {
+	return trioFig(ctx, st, 2, st.Goals2, true, "Figure 8c", "Non-QoS throughput normalized to isolated, trios (2 QoS)",
 		"paper: Rollover +20.5% over Spart; >10x in the three highest goal categories")
 }
 
 // Fig9 reproduces Figure 9: QoS kernel throughput normalized to its goal.
-func Fig9(st Study) (*Table, error) {
-	bySch, err := st.schemeSweep(core.SchemeSpart, core.SchemeRollover)
+func Fig9(ctx context.Context, st Study) (*Table, error) {
+	bySch, err := st.schemeSweep(ctx, core.SchemeSpart, core.SchemeRollover)
 	if err != nil {
 		return nil, err
 	}
@@ -380,8 +387,8 @@ func Fig9(st Study) (*Table, error) {
 }
 
 // Fig10 reproduces Figure 10: QoSreach, Rollover vs Rollover-Time.
-func Fig10(st Study) (*Table, error) {
-	bySch, err := st.schemeSweep(core.SchemeRollover, core.SchemeRolloverTime)
+func Fig10(ctx context.Context, st Study) (*Table, error) {
+	bySch, err := st.schemeSweep(ctx, core.SchemeRollover, core.SchemeRolloverTime)
 	if err != nil {
 		return nil, err
 	}
@@ -399,8 +406,8 @@ func Fig10(st Study) (*Table, error) {
 }
 
 // Fig11 reproduces Figure 11: non-QoS throughput, Rollover vs Rollover-Time.
-func Fig11(st Study) (*Table, error) {
-	bySch, err := st.schemeSweep(core.SchemeRollover, core.SchemeRolloverTime)
+func Fig11(ctx context.Context, st Study) (*Table, error) {
+	bySch, err := st.schemeSweep(ctx, core.SchemeRollover, core.SchemeRolloverTime)
 	if err != nil {
 		return nil, err
 	}
@@ -424,8 +431,8 @@ func Fig11(st Study) (*Table, error) {
 
 // Fig12 reproduces Figure 12: QoSreach with 56 SMs. The study's session
 // must be built with config.Scale56.
-func Fig12(st Study) (*Table, error) {
-	bySch, err := st.schemeSweep(core.SchemeSpart, core.SchemeRollover)
+func Fig12(ctx context.Context, st Study) (*Table, error) {
+	bySch, err := st.schemeSweep(ctx, core.SchemeSpart, core.SchemeRollover)
 	if err != nil {
 		return nil, err
 	}
@@ -443,8 +450,8 @@ func Fig12(st Study) (*Table, error) {
 }
 
 // Fig13 reproduces Figure 13: non-QoS throughput with 56 SMs.
-func Fig13(st Study) (*Table, error) {
-	bySch, err := st.schemeSweep(core.SchemeSpart, core.SchemeRollover)
+func Fig13(ctx context.Context, st Study) (*Table, error) {
+	bySch, err := st.schemeSweep(ctx, core.SchemeSpart, core.SchemeRollover)
 	if err != nil {
 		return nil, err
 	}
@@ -466,8 +473,8 @@ func Fig13(st Study) (*Table, error) {
 
 // Fig14 reproduces Figure 14: instructions-per-watt improvement of
 // Rollover over Spart, per goal, over cases both schemes satisfied.
-func Fig14(st Study) (*Table, error) {
-	bySch, err := st.schemeSweep(core.SchemeSpart, core.SchemeRollover)
+func Fig14(ctx context.Context, st Study) (*Table, error) {
+	bySch, err := st.schemeSweep(ctx, core.SchemeSpart, core.SchemeRollover)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Progress is one event of the sweep progress stream. Events are emitted
+// after every completed case; Done is monotonic even though cases finish
+// out of order across workers. Rate fields describe only progress
+// reporting — they never influence simulation results, which stay
+// bit-identical to a serial run.
+type Progress struct {
+	// Stage labels the sweep (usually the scheme name; figure drivers
+	// relabel it with the figure id).
+	Stage string
+	// Done and Total count cases.
+	Done, Total int
+	// Elapsed is wall time since the sweep started.
+	Elapsed time.Duration
+	// CasesPerSec is the sweep's current completion rate.
+	CasesPerSec float64
+	// ETA estimates the remaining wall time at the current rate.
+	ETA time.Duration
+}
+
+// ProgressFunc receives progress events. The runner serializes calls, so
+// implementations need no locking.
+type ProgressFunc func(Progress)
+
+// SweepMetrics summarizes one completed sweep stage.
+type SweepMetrics struct {
+	Stage       string
+	Cases       int
+	Wall        time.Duration
+	CasesPerSec float64
+}
+
+// Runner is the parallel sweep engine: a fixed pool of workers, each
+// owning an independent core.Session, over which pair/trio case grids are
+// fanned out. All sessions share one singleflight isolated-IPC cache, so
+// the per-workload isolated baselines are measured exactly once no matter
+// how many workers ask for them. Results are always merged in
+// deterministic case order (pairs/trios outer, goals inner) regardless of
+// completion order, and each case is bit-identical to what the serial
+// PairSweep/TrioSweep functions produce: per-case determinism comes from
+// the seeded RNG streams in internal/rng, not from scheduling.
+type Runner struct {
+	workers  int
+	opts     []core.Option
+	sessions []*core.Session
+
+	mu      sync.Mutex
+	metrics []SweepMetrics
+}
+
+// NewRunner builds a Runner with the given worker count (0 or negative
+// means runtime.GOMAXPROCS(0)). The options configure every worker
+// session identically; passing core.WithIsolatedCache here is redundant —
+// the runner always installs a shared cache (after the caller's options,
+// so it wins).
+func NewRunner(workers int, opts ...core.Option) (*Runner, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{workers: workers, opts: append([]core.Option(nil), opts...)}
+	cache := core.NewIsolatedCache()
+	withCache := append(append([]core.Option(nil), r.opts...), core.WithIsolatedCache(cache))
+	for i := 0; i < workers; i++ {
+		s, err := core.NewSession(withCache...)
+		if err != nil {
+			return nil, err
+		}
+		r.sessions = append(r.sessions, s)
+	}
+	return r, nil
+}
+
+// With derives a Runner with the same worker count and base options plus
+// extra ones (later options override earlier, so e.g.
+// core.WithQoSOptions replaces the base tuning). The derived runner gets
+// a fresh isolated cache: changed options may change baselines.
+func (r *Runner) With(extra ...core.Option) (*Runner, error) {
+	opts := append(append([]core.Option(nil), r.opts...), extra...)
+	return NewRunner(r.workers, opts...)
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Session exposes one of the pool's sessions for serial work (isolated
+// measurements, one-off runs) outside a sweep.
+func (r *Runner) Session() *core.Session { return r.sessions[0] }
+
+// GPUConfig returns the device configuration shared by all workers.
+func (r *Runner) GPUConfig() config.GPU { return r.sessions[0].GPUConfig() }
+
+// Window returns the measurement window shared by all workers.
+func (r *Runner) Window() int64 { return r.sessions[0].Window() }
+
+// Metrics returns per-stage wall-time summaries of every sweep this
+// runner completed, in completion order.
+func (r *Runner) Metrics() []SweepMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SweepMetrics(nil), r.metrics...)
+}
+
+// sweep fans total cases out over the worker pool. runCase must write its
+// result into caller-owned storage at index i (indices never collide, so
+// no locking is needed on the result slice). The first error cancels the
+// remaining cases and is returned; external cancellation surfaces as the
+// parent context's error.
+func (r *Runner) sweep(parent context.Context, stage string, total int, runCase func(ctx context.Context, s *core.Session, i int) error, progress ProgressFunc) error {
+	if total == 0 {
+		return parent.Err()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	start := time.Now()
+	workers := r.workers
+	if workers > total {
+		workers = total
+	}
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		s := r.sessions[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := runCase(ctx, s, i); err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				done++
+				if progress != nil {
+					elapsed := time.Since(start)
+					p := Progress{Stage: stage, Done: done, Total: total, Elapsed: elapsed}
+					if secs := elapsed.Seconds(); secs > 0 {
+						p.CasesPerSec = float64(done) / secs
+						p.ETA = time.Duration(float64(total-done) / p.CasesPerSec * float64(time.Second))
+					}
+					// Emit under the lock so the callback never sees
+					// events out of order and needs no synchronization.
+					progress(p)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := 0; i < total; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err == nil {
+		err = parent.Err()
+	}
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	m := SweepMetrics{Stage: stage, Cases: total, Wall: wall}
+	if secs := wall.Seconds(); secs > 0 {
+		m.CasesPerSec = float64(total) / secs
+	}
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+	return nil
+}
+
+// PairSweep runs every pair at every goal under the scheme across the
+// worker pool and returns the cases in deterministic (pair-major,
+// goal-minor) order — identical, case for case, to the serial PairSweep.
+func (r *Runner) PairSweep(ctx context.Context, pairs []workloads.Pair, goals []float64, scheme core.Scheme, progress ProgressFunc) ([]PairCase, error) {
+	out := make([]PairCase, len(pairs)*len(goals))
+	err := r.sweep(ctx, scheme.String(), len(out), func(ctx context.Context, s *core.Session, i int) error {
+		p, g := pairs[i/len(goals)], goals[i%len(goals)]
+		res, err := s.Run(ctx, pairSpecs(p, g), scheme)
+		if err != nil {
+			return fmt.Errorf("pair %s+%s @%.2f: %w", p.QoS, p.NonQoS, g, err)
+		}
+		out[i] = PairCase{Pair: p, Goal: g, Scheme: scheme, Res: res}
+		return nil
+	}, progress)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TrioSweep runs every trio at every goal with nQoS QoS kernels (1 or 2)
+// across the worker pool, merging results in deterministic (trio-major,
+// goal-minor) order — identical to the serial TrioSweep.
+func (r *Runner) TrioSweep(ctx context.Context, trios []workloads.Trio, goals []float64, nQoS int, scheme core.Scheme, progress ProgressFunc) ([]TrioCase, error) {
+	if nQoS < 1 || nQoS > 2 {
+		return nil, fmt.Errorf("exp: nQoS must be 1 or 2, got %d", nQoS)
+	}
+	out := make([]TrioCase, len(trios)*len(goals))
+	err := r.sweep(ctx, scheme.String(), len(out), func(ctx context.Context, s *core.Session, i int) error {
+		t, g := trios[i/len(goals)], goals[i%len(goals)]
+		specs, qg := trioSpecs(t, g, nQoS)
+		res, err := s.Run(ctx, specs, scheme)
+		if err != nil {
+			return fmt.Errorf("trio %s+%s+%s @%.2f: %w", t.A, t.B, t.C, g, err)
+		}
+		out[i] = TrioCase{Trio: t, QoSGoals: qg, Scheme: scheme, Res: res}
+		return nil
+	}, progress)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

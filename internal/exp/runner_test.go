@@ -1,0 +1,233 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// testRunner builds a small-device runner sized for CI.
+func testRunner(t *testing.T, workers int) *Runner {
+	t.Helper()
+	cfg := config.Base()
+	cfg.NumSMs = 4
+	r, err := NewRunner(workers, core.WithGPU(cfg), core.WithWindow(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerDefaults(t *testing.T) {
+	r := testRunner(t, 0)
+	if r.Workers() < 1 {
+		t.Fatalf("Workers() = %d", r.Workers())
+	}
+	if r.GPUConfig().NumSMs != 4 || r.Window() != 30_000 {
+		t.Fatal("runner did not propagate options to sessions")
+	}
+	if r.Session() == nil {
+		t.Fatal("no session exposed")
+	}
+}
+
+// TestPairSweepSerialParallelEquivalence is the engine's core guarantee:
+// the parallel sweep produces results bit-identical to the serial
+// reference implementation, in the same deterministic case order.
+func TestPairSweepSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	pairs := []workloads.Pair{
+		{QoS: "sgemm", NonQoS: "lbm"},
+		{QoS: "mri-q", NonQoS: "stencil"},
+		{QoS: "lbm", NonQoS: "sgemm"},
+	}
+	goals := []float64{0.4, 0.7}
+	ctx := context.Background()
+
+	serialSession, err := core.NewSession(core.WithGPU(func() config.GPU {
+		c := config.Base()
+		c.NumSMs = 4
+		return c
+	}()), core.WithWindow(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PairSweep(ctx, serialSession, pairs, goals, core.SchemeRollover, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := testRunner(t, 4)
+	got, err := r.PairSweep(ctx, pairs, goals, core.SchemeRollover, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel pair sweep diverged from the serial reference")
+	}
+	// A second run over the same runner must also be identical (the
+	// isolated cache must not change results, only speed).
+	again, err := r.PairSweep(ctx, pairs, goals, core.SchemeRollover, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("repeat parallel sweep diverged")
+	}
+}
+
+func TestTrioSweepSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	trios := []workloads.Trio{
+		{A: "sgemm", B: "mri-q", C: "lbm"},
+		{A: "lbm", B: "stencil", C: "sgemm"},
+	}
+	goals := []float64{0.3}
+	ctx := context.Background()
+
+	r := testRunner(t, 4)
+	got, err := r.TrioSweep(ctx, trios, goals, 2, core.SchemeRollover, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TrioSweep(ctx, r.Session(), trios, goals, 2, core.SchemeRollover, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel trio sweep diverged from the serial reference")
+	}
+}
+
+// TestPairSweepProgress checks the progress stream: monotonic Done, one
+// event per case, final event at Done == Total.
+func TestPairSweepProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	pairs := []workloads.Pair{{QoS: "sgemm", NonQoS: "lbm"}}
+	goals := []float64{0.4, 0.6, 0.8}
+	var events []Progress
+	r := testRunner(t, 2)
+	_, err := r.PairSweep(context.Background(), pairs, goals, core.SchemeRollover,
+		func(p Progress) { events = append(events, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(pairs)*len(goals) {
+		t.Fatalf("%d progress events, want %d", len(events), len(pairs)*len(goals))
+	}
+	for i, p := range events {
+		if p.Done != i+1 || p.Total != 3 {
+			t.Fatalf("event %d = %+v", i, p)
+		}
+	}
+	last := events[len(events)-1]
+	if last.CasesPerSec <= 0 || last.ETA != 0 {
+		t.Fatalf("final event rate/ETA: %+v", last)
+	}
+	ms := r.Metrics()
+	if len(ms) != 1 || ms[0].Cases != 3 || ms[0].Stage != core.SchemeRollover.String() {
+		t.Fatalf("metrics = %+v", ms)
+	}
+}
+
+// TestPairSweepCancelMidSweep cancels from inside the first progress
+// callback and expects a prompt context.Canceled, not a full sweep.
+func TestPairSweepCancelMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	pairs := []workloads.Pair{
+		{QoS: "sgemm", NonQoS: "lbm"},
+		{QoS: "mri-q", NonQoS: "stencil"},
+		{QoS: "lbm", NonQoS: "sgemm"},
+		{QoS: "stencil", NonQoS: "mri-q"},
+	}
+	goals := Goals()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	_, err := testRunner(t, 2).PairSweep(ctx, pairs, goals, core.SchemeRollover,
+		func(p Progress) {
+			done = p.Done
+			cancel()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done >= len(pairs)*len(goals) {
+		t.Fatal("sweep ran to completion despite cancellation")
+	}
+}
+
+func TestPairSweepPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := testRunner(t, 2).PairSweep(ctx,
+		[]workloads.Pair{{QoS: "sgemm", NonQoS: "lbm"}}, []float64{0.5},
+		core.SchemeRollover, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTrioSweepRejectsBadNQoS(t *testing.T) {
+	r := testRunner(t, 1)
+	if _, err := r.TrioSweep(context.Background(),
+		[]workloads.Trio{{A: "sgemm", B: "mri-q", C: "lbm"}},
+		[]float64{0.3}, 3, core.SchemeRollover, nil); err == nil {
+		t.Fatal("accepted nQoS=3")
+	}
+}
+
+// TestRunnerWith checks derived runners apply extra options on top of the
+// base ones — the mechanism the ablation drivers use.
+func TestRunnerWith(t *testing.T) {
+	r := testRunner(t, 2)
+	big := config.Base() // 16 SMs, overrides the base 4-SM option
+	d, err := r.With(core.WithGPU(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GPUConfig().NumSMs != 16 {
+		t.Fatalf("derived runner has %d SMs, want 16", d.GPUConfig().NumSMs)
+	}
+	if d.Workers() != r.Workers() {
+		t.Fatal("derived runner changed worker count")
+	}
+	if r.GPUConfig().NumSMs != 4 {
+		t.Fatal("derivation mutated the base runner")
+	}
+}
+
+// TestRunnerSharesIsolatedCache checks all worker sessions see each
+// other's isolated baselines (singleflight across the pool).
+func TestRunnerSharesIsolatedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	r := testRunner(t, 3)
+	ctx := context.Background()
+	spec := core.KernelSpec{Workload: "sgemm"}
+	a, err := r.sessions[0].IsolatedIPC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.sessions[2].IsolatedIPC(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("worker sessions disagree on the isolated baseline")
+	}
+}

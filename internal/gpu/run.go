@@ -1,11 +1,28 @@
 package gpu
 
-import "repro/internal/metrics"
+import (
+	"context"
+
+	"repro/internal/metrics"
+)
 
 // Run advances the GPU for the given number of cycles, driving the TB
 // scheduler, the SMs, idle-warp sampling and the controller hooks. It can
 // be called repeatedly to extend a simulation.
 func (g *GPU) Run(cycles int64) {
+	// context.Background never cancels, so the error can't happen.
+	_ = g.RunCtx(context.Background(), cycles)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// once per quota epoch (the natural consistency point — counters have
+// just been rolled and the controller consulted), so a cancel mid-window
+// returns within one epoch of simulated work rather than after the full
+// window. It returns the context's error when canceled, nil otherwise.
+func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	end := g.Now + cycles
 	sampleEvery := g.Cfg.EpochLength / int64(g.Cfg.IdleWarpSamples)
 	if sampleEvery < 1 {
@@ -39,8 +56,12 @@ func (g *GPU) Run(cycles int64) {
 		}
 		if now > 0 && now%g.Cfg.EpochLength == 0 {
 			g.rollEpoch(now)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // rollEpoch snapshots per-kernel epoch counters, records them, and fires
