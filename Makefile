@@ -1,10 +1,12 @@
 # Build, test and verification entry points. `make ci` is the gate run
-# before merging: vet plus the race-detector pass over the packages that
-# do concurrent work (the sweep engine and the session facade it drives).
+# before merging: vet, the race-detector pass over the packages that do
+# concurrent work (the sweep engine, the session facade it drives, and
+# the retry/journal fault-tolerance layer), the full test suite, and a
+# short fuzz run over the checkpoint-journal decoder.
 
 GO ?= go
 
-.PHONY: all build test bench race ci clean
+.PHONY: all build test bench race fuzz ci clean
 
 all: build
 
@@ -20,12 +22,18 @@ bench:
 
 # Race-detector pass over the concurrent packages.
 race:
-	$(GO) test -race ./internal/exp/... ./internal/core/...
+	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/...
+
+# Time-boxed fuzz pass over the journal line decoder (crash-recovery
+# parsing of arbitrary bytes).
+fuzz:
+	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=10s
 
 ci:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/exp/... ./internal/core/...
+	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/...
 	$(GO) test ./...
+	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=10s
 
 clean:
 	$(GO) clean ./...

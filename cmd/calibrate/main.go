@@ -28,14 +28,20 @@ import (
 
 func main() {
 	var (
-		list   = flag.String("w", "", "comma-separated workloads (default: all)")
-		window = flag.Int64("window", 200_000, "measurement window in cycles")
-		tlp    = flag.Bool("tlp", false, "include the TLP-sensitivity sweep")
+		list    = flag.String("w", "", "comma-separated workloads (default: all)")
+		window  = flag.Int64("window", 200_000, "measurement window in cycles")
+		tlp     = flag.Bool("tlp", false, "include the TLP-sensitivity sweep")
+		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if err := run(ctx, *list, *window, *tlp); err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)

@@ -34,6 +34,7 @@ func main() {
 		window  = flag.Int64("window", 200_000, "measurement window in cycles")
 		scale   = flag.Bool("scale56", false, "use the 56-SM configuration (Section 4.6)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
+		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,11 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if err := run(ctx, *kernels, *scheme, *window, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)

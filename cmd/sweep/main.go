@@ -4,16 +4,27 @@
 // emitted in deterministic case order and are bit-identical to a serial
 // run. Ctrl-C cancels mid-sweep.
 //
+// Sweeps are fault-tolerant: a crashing or erroring case is isolated and
+// reported instead of aborting the study (restore the old behavior with
+// -fail-fast), transient failures can be retried (-retries, with
+// -retry-backoff), runaway cases can be reaped (-case-timeout), and with
+// -journal every completed case is checkpointed so an interrupted sweep
+// resumes (-resume) without recomputing — resumed results are
+// bit-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	sweep -mode pairs -schemes rollover,spart > pairs.csv
 //	sweep -mode trios -nqos 2 -schemes rollover,spart -subsample 2 > trios2.csv
 //	sweep -mode pairs -workers 1   # force serial execution
+//	sweep -mode pairs -journal pairs.ckpt            # checkpoint as it goes
+//	sweep -mode pairs -journal pairs.ckpt -resume    # pick up after a crash
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,26 +37,51 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/journal"
+	"repro/internal/retry"
 	"repro/internal/workloads"
 )
 
+// options carries the parsed command line.
+type options struct {
+	mode        string
+	nQoS        int
+	schemes     string
+	window      int64
+	subsample   int
+	goals       string
+	scale       bool
+	workers     int
+	journalPath string
+	resume      bool
+	failFast    bool
+	caseTimeout time.Duration
+	retries     int
+	backoff     time.Duration
+}
+
 func main() {
-	var (
-		mode      = flag.String("mode", "pairs", "pairs|trios")
-		nQoS      = flag.Int("nqos", 1, "QoS kernels per trio (trios mode)")
-		schemes   = flag.String("schemes", "rollover,spart", "comma-separated scheme list")
-		window    = flag.Int64("window", 200_000, "measurement window in cycles")
-		subsample = flag.Int("subsample", 1, "take every k-th pair/trio")
-		goalsFlag = flag.String("goals", "", "comma-separated goal fractions (default: paper sweep)")
-		scale     = flag.Bool("scale56", false, "use the 56-SM configuration")
-		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU)")
-	)
+	var o options
+	flag.StringVar(&o.mode, "mode", "pairs", "pairs|trios")
+	flag.IntVar(&o.nQoS, "nqos", 1, "QoS kernels per trio (trios mode)")
+	flag.StringVar(&o.schemes, "schemes", "rollover,spart", "comma-separated scheme list")
+	flag.Int64Var(&o.window, "window", 200_000, "measurement window in cycles")
+	flag.IntVar(&o.subsample, "subsample", 1, "take every k-th pair/trio")
+	flag.StringVar(&o.goals, "goals", "", "comma-separated goal fractions (default: paper sweep)")
+	flag.BoolVar(&o.scale, "scale56", false, "use the 56-SM configuration")
+	flag.IntVar(&o.workers, "workers", 0, "parallel sweep workers (0 = one per CPU)")
+	flag.StringVar(&o.journalPath, "journal", "", "checkpoint journal file (completed cases are appended)")
+	flag.BoolVar(&o.resume, "resume", false, "resume from the journal, skipping already-completed cases")
+	flag.BoolVar(&o.failFast, "fail-fast", false, "abort the sweep on the first failing case")
+	flag.DurationVar(&o.caseTimeout, "case-timeout", 0, "per-case deadline (0 = none)")
+	flag.IntVar(&o.retries, "retries", 0, "extra attempts per failing case")
+	flag.DurationVar(&o.backoff, "retry-backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *mode, *nQoS, *schemes, *window, *subsample, *goalsFlag, *scale, *workers); err != nil {
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -85,39 +121,106 @@ func progress(p exp.Progress) {
 	}
 }
 
-func run(ctx context.Context, mode string, nQoS int, schemeList string, window int64, subsample int, goalsFlag string, scale bool, workers int) error {
-	schemes, err := parseSchemes(schemeList)
+// openJournal opens (or creates) the checkpoint journal. The header hash
+// binds the file to the device/window/mode; per-stage keys inside bind
+// each case to the exact session config and grid. Without -resume an
+// existing journal is refused rather than silently overwritten.
+func openJournal(o options, cfg config.GPU) (*journal.Journal, error) {
+	if o.journalPath == "" {
+		if o.resume {
+			return nil, errors.New("-resume requires -journal")
+		}
+		return nil, nil
+	}
+	hash, err := journal.Hash(struct {
+		GPU    config.GPU
+		Window int64
+		Mode   string
+		NQoS   int
+	}{cfg, o.window, o.mode, o.nQoS})
+	if err != nil {
+		return nil, err
+	}
+	if o.resume {
+		return journal.Open(o.journalPath, hash)
+	}
+	if _, err := os.Stat(o.journalPath); err == nil {
+		return nil, fmt.Errorf("journal %s exists; pass -resume to continue it or remove it first", o.journalPath)
+	}
+	return journal.Create(o.journalPath, hash)
+}
+
+func faultPolicy(o options, j *journal.Journal, seed uint64) exp.FaultPolicy {
+	return exp.FaultPolicy{
+		FailFast:    o.failFast,
+		CaseTimeout: o.caseTimeout,
+		Journal:     j,
+		Retry: retry.Policy{
+			MaxAttempts: o.retries + 1,
+			BaseDelay:   o.backoff,
+			Seed:        seed,
+		},
+	}
+}
+
+func run(ctx context.Context, o options) error {
+	schemes, err := parseSchemes(o.schemes)
 	if err != nil {
 		return err
 	}
 	def := exp.Goals()
-	if mode == "trios" && nQoS == 2 {
+	if o.mode == "trios" && o.nQoS == 2 {
 		def = exp.TwoQoSGoals()
 	}
-	goals, err := parseGoals(goalsFlag, def)
+	goals, err := parseGoals(o.goals, def)
 	if err != nil {
 		return err
 	}
 	cfg := config.Base()
-	if scale {
+	if o.scale {
 		cfg = config.Scale56()
 	}
-	runner, err := exp.NewRunner(workers, core.WithGPU(cfg), core.WithWindow(window))
+	runner, err := exp.NewRunner(o.workers, core.WithGPU(cfg), core.WithWindow(o.window))
 	if err != nil {
 		return err
 	}
-	if subsample < 1 {
-		subsample = 1
+	jnl, err := openJournal(o, cfg)
+	if err != nil {
+		return err
+	}
+	if jnl != nil {
+		defer jnl.Close()
+	}
+	runner.SetFaultPolicy(faultPolicy(o, jnl, runner.Session().Seed()))
+	if o.subsample < 1 {
+		o.subsample = 1
 	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 
-	switch mode {
+	// sweepErr collects per-scheme failures: a sweep that completed with
+	// failed cases still emits its healthy rows, but the run exits
+	// non-zero so scripts notice the holes.
+	var failed int
+	partial := func(err error) (bool, error) {
+		if err == nil {
+			return true, nil
+		}
+		var se *exp.SweepError
+		if errors.As(err, &se) {
+			fmt.Fprintf(os.Stderr, "\n%s\n", se.Error())
+			failed += len(se.Report.Failed)
+			return true, nil
+		}
+		return false, err
+	}
+
+	switch o.mode {
 	case "pairs":
 		var pairs []workloads.Pair
 		for i, p := range workloads.Pairs() {
-			if i%subsample == 0 {
+			if i%o.subsample == 0 {
 				pairs = append(pairs, p)
 			}
 		}
@@ -125,10 +228,13 @@ func run(ctx context.Context, mode string, nQoS int, schemeList string, window i
 			"qos_ipc", "qos_goal_ipc", "goal_ratio", "nonqos_norm_tput", "instr_per_watt"})
 		for _, sc := range schemes {
 			cases, err := runner.PairSweep(ctx, pairs, goals, sc, progress)
-			if err != nil {
+			if ok, err := partial(err); !ok {
 				return err
 			}
 			for _, c := range cases {
+				if c.Res == nil {
+					continue // failed case; reported above
+				}
 				q, nq := c.QoSKernel(), c.NonQoSKernel()
 				cls, _ := workloads.PairClass(c.Pair.QoS, c.Pair.NonQoS)
 				w.Write([]string{
@@ -147,20 +253,23 @@ func run(ctx context.Context, mode string, nQoS int, schemeList string, window i
 	case "trios":
 		var trios []workloads.Trio
 		for i, tr := range workloads.Trios() {
-			if i%subsample == 0 {
+			if i%o.subsample == 0 {
 				trios = append(trios, tr)
 			}
 		}
 		w.Write([]string{"scheme", "a", "b", "c", "nqos", "goal", "reached",
 			"ratio_a", "ratio_b", "nonqos_norm_tput"})
 		for _, sc := range schemes {
-			cases, err := runner.TrioSweep(ctx, trios, goals, nQoS, sc, progress)
-			if err != nil {
+			cases, err := runner.TrioSweep(ctx, trios, goals, o.nQoS, sc, progress)
+			if ok, err := partial(err); !ok {
 				return err
 			}
 			for _, c := range cases {
+				if c.Res == nil {
+					continue // failed case; reported above
+				}
 				ratioB := ""
-				if nQoS == 2 {
+				if o.nQoS == 2 {
 					ratioB = fmt.Sprintf("%.4f", c.Res.Kernels[1].GoalRatio)
 				}
 				var nqNorm float64
@@ -176,7 +285,7 @@ func run(ctx context.Context, mode string, nQoS int, schemeList string, window i
 				}
 				w.Write([]string{
 					sc.Name(), c.Trio.A, c.Trio.B, c.Trio.C,
-					fmt.Sprint(nQoS),
+					fmt.Sprint(o.nQoS),
 					fmt.Sprintf("%.2f", c.QoSGoals[0]),
 					fmt.Sprint(c.Res.AllReached),
 					fmt.Sprintf("%.4f", c.Res.Kernels[0].GoalRatio),
@@ -187,12 +296,20 @@ func run(ctx context.Context, mode string, nQoS int, schemeList string, window i
 			w.Flush()
 		}
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", o.mode)
 	}
 	fmt.Fprintln(os.Stderr)
 	for _, m := range runner.Metrics() {
 		fmt.Fprintf(os.Stderr, "sweep %-24s %4d cases in %8s (%.1f case/s, %d workers)\n",
 			m.Stage, m.Cases, m.Wall.Round(time.Millisecond), m.CasesPerSec, runner.Workers())
+	}
+	for _, rep := range runner.Reports() {
+		if rep.Skipped > 0 || rep.Retried > 0 || len(rep.Failed) > 0 {
+			fmt.Fprintf(os.Stderr, "sweep %-24s %s\n", rep.Stage, rep.Summary())
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d case(s) failed; completed rows were emitted", failed)
 	}
 	return nil
 }

@@ -209,6 +209,7 @@ type Session struct {
 	cfg      Config
 	seed     uint64
 	isolated *IsolatedCache
+	faults   FaultInjector
 }
 
 // NewSession applies the options, validates the resulting configuration
@@ -236,11 +237,17 @@ func NewSession(opts ...Option) (*Session, error) {
 	if cache == nil {
 		cache = NewIsolatedCache()
 	}
-	return &Session{cfg: cfg, seed: st.seed, isolated: cache}, nil
+	return &Session{cfg: cfg, seed: st.seed, isolated: cache, faults: st.faults}, nil
 }
 
 // GPUConfig returns the session's device configuration.
 func (s *Session) GPUConfig() config.GPU { return s.cfg.GPU }
+
+// Config returns a copy of the session's resolved configuration. The
+// checkpoint journal hashes it (together with the seed) to key sweep
+// stages, so a resumed study can never splice in results produced under
+// different settings.
+func (s *Session) Config() Config { return s.cfg }
 
 // Window returns the measurement window in cycles.
 func (s *Session) Window() int64 { return s.cfg.WindowCycles }
@@ -322,6 +329,13 @@ type Result struct {
 func (s *Session) Run(ctx context.Context, specs []KernelSpec, scheme Scheme) (*Result, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("core: no kernels")
+	}
+	if s.faults != nil {
+		// Testing hook: a configured injector may error, stall or panic
+		// here to emulate a failing case (see FaultInjector).
+		if err := s.faults.Inject(ctx); err != nil {
+			return nil, err
+		}
 	}
 	kernels := make([]*kern.Kernel, len(specs))
 	goals := make([]float64, len(specs))

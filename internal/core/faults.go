@@ -1,0 +1,39 @@
+package core
+
+import "context"
+
+// FaultInjector deterministically injects failures into Session.Run, the
+// hook the fault-tolerant sweep engine's tests use to prove the engine
+// survives misbehaving cases. Inject is consulted at the top of every
+// Run; an implementation may
+//
+//   - return an error — the run fails as if the simulation had,
+//   - sleep in a context-aware way — a slow or hung case, which a
+//     per-case deadline must reap,
+//   - panic — a crashing case, which the sweep engine's panic isolation
+//     must convert into a reported CaseError instead of a dead process.
+//
+// Implementations must be safe for concurrent use: the whole worker pool
+// shares one injector. To stay deterministic regardless of worker
+// scheduling, key decisions on the case index from CaseIndexFromContext,
+// never on call order.
+type FaultInjector interface {
+	Inject(ctx context.Context) error
+}
+
+// caseIndexKey tags a context with the sweep case index.
+type caseIndexKey struct{}
+
+// ContextWithCaseIndex tags ctx with the deterministic sweep case index.
+// The sweep runner applies it before every case so fault injectors can
+// target chosen indices.
+func ContextWithCaseIndex(ctx context.Context, index int) context.Context {
+	return context.WithValue(ctx, caseIndexKey{}, index)
+}
+
+// CaseIndexFromContext returns the case index tagged by
+// ContextWithCaseIndex, or ok=false outside a sweep.
+func CaseIndexFromContext(ctx context.Context) (index int, ok bool) {
+	index, ok = ctx.Value(caseIndexKey{}).(int)
+	return index, ok
+}

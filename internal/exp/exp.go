@@ -84,10 +84,7 @@ func serialProgress(stage string, total int, progress ProgressFunc) func(done in
 	start := time.Now()
 	return func(done int) {
 		p := Progress{Stage: stage, Done: done, Total: total, Elapsed: time.Since(start)}
-		if secs := p.Elapsed.Seconds(); secs > 0 {
-			p.CasesPerSec = float64(done) / secs
-			p.ETA = time.Duration(float64(total-done) / p.CasesPerSec * float64(time.Second))
-		}
+		p.CasesPerSec, p.ETA = sweepRate(done, total, p.Elapsed)
 		progress(p)
 	}
 }

@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/retry"
+	"repro/internal/workloads"
+)
+
+// faultRunner builds a small-device runner whose sessions carry the given
+// injector, sized for CI like testRunner.
+func faultRunner(t *testing.T, workers int, fi core.FaultInjector, extra ...core.Option) *Runner {
+	t.Helper()
+	cfg := config.Base()
+	cfg.NumSMs = 4
+	opts := append([]core.Option{core.WithGPU(cfg), core.WithWindow(30_000), core.WithFaultInjector(fi)}, extra...)
+	r, err := NewRunner(workers, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+var faultPairs = []workloads.Pair{
+	{QoS: "sgemm", NonQoS: "lbm"},
+	{QoS: "mri-q", NonQoS: "stencil"},
+	{QoS: "lbm", NonQoS: "sgemm"},
+}
+
+// TestSweepPanicIsolation injects panics into two chosen cases and runs
+// the sweep with the default (collecting) policy: every other case must
+// complete, the report must name exactly the injected cases, and the
+// recovered stacks must be attached.
+func TestSweepPanicIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	goals := []float64{0.4, 0.7}
+	faults := NewScriptedFaults(map[int][]FaultSpec{
+		1: {{Panic: true}},
+		4: {{Panic: true}},
+	})
+	r := faultRunner(t, 3, faults)
+	out, err := r.PairSweep(context.Background(), faultPairs, goals, core.SchemeRollover, nil)
+
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	rep := se.Report
+	if len(rep.Failed) != 2 || rep.Failed[0].Index != 1 || rep.Failed[1].Index != 4 {
+		t.Fatalf("Failed = %+v, want cases 1 and 4", rep.Failed)
+	}
+	if rep.Completed != 4 || rep.Total != 6 {
+		t.Fatalf("Completed/Total = %d/%d, want 4/6", rep.Completed, rep.Total)
+	}
+	for _, ce := range rep.Failed {
+		var pe *PanicError
+		if !errors.As(ce.Err, &pe) {
+			t.Fatalf("case %d: err = %v, want *PanicError", ce.Index, ce.Err)
+		}
+		if len(ce.Stack) == 0 {
+			t.Fatalf("case %d: no stack captured", ce.Index)
+		}
+		if ce.Case == "" || ce.Stage == "" {
+			t.Fatalf("case %d: missing coordinates: %+v", ce.Index, ce)
+		}
+	}
+	for i, c := range out {
+		failed := i == 1 || i == 4
+		if failed && c.Res != nil {
+			t.Fatalf("case %d: failed case has a result", i)
+		}
+		if !failed && c.Res == nil {
+			t.Fatalf("case %d: healthy case missing its result", i)
+		}
+	}
+	// The report is also retained on the runner for later inspection.
+	reps := r.Reports()
+	if len(reps) != 1 || len(reps[0].Failed) != 2 {
+		t.Fatalf("Reports() = %+v", reps)
+	}
+}
+
+// TestSweepTransientRetry scripts one-shot faults (fail first attempt,
+// clean after) on two cases: with a retry budget the sweep must finish
+// fully clean and count the retried cases.
+func TestSweepTransientRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	goals := []float64{0.5}
+	transient := errors.New("transient fabric glitch")
+	faults := NewScriptedFaults(map[int][]FaultSpec{
+		0: {{Err: transient}},
+		2: {{Panic: true}},
+	})
+	r := faultRunner(t, 2, faults)
+	r.SetFaultPolicy(FaultPolicy{Retry: retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7}})
+	out, err := r.PairSweep(context.Background(), faultPairs, goals, core.SchemeRollover, nil)
+	if err != nil {
+		t.Fatalf("sweep failed despite retry budget: %v", err)
+	}
+	for i, c := range out {
+		if c.Res == nil {
+			t.Fatalf("case %d missing result", i)
+		}
+	}
+	rep := r.Reports()[0]
+	if rep.Retried != 2 || rep.Completed != 3 || len(rep.Failed) != 0 {
+		t.Fatalf("report = %s, want 2 retried / 3 completed / 0 failed", rep.Summary())
+	}
+	if got := faults.Attempts(0); got != 2 {
+		t.Fatalf("case 0 attempted %d times, want 2", got)
+	}
+}
+
+// TestSweepCaseTimeout wedges one case (a scripted delay far beyond the
+// per-case deadline, on every attempt) and expects the engine to reap it
+// as DeadlineExceeded while the rest of the sweep completes.
+func TestSweepCaseTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	goals := []float64{0.5}
+	faults := NewScriptedFaults(map[int][]FaultSpec{
+		1: {{Delay: 10 * time.Minute}, {Delay: 10 * time.Minute}},
+	})
+	r := faultRunner(t, 2, faults)
+	// The deadline must be generous enough that healthy cases (fast, but
+	// ~10x slower under -race) never trip it, while still reaping the
+	// 10-minute wedge quickly.
+	r.SetFaultPolicy(FaultPolicy{CaseTimeout: 5 * time.Second, Retry: retry.Policy{MaxAttempts: 2, Seed: 3}})
+	start := time.Now()
+	_, err := r.PairSweep(context.Background(), faultPairs, goals, core.SchemeRollover, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in the chain", err)
+	}
+	var se *SweepError
+	if !errors.As(err, &se) || len(se.Report.Failed) != 1 || se.Report.Failed[0].Index != 1 {
+		t.Fatalf("err = %v, want a SweepError failing exactly case 1", err)
+	}
+	if se.Report.Failed[0].Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2 (deadline errors are retryable)", se.Report.Failed[0].Attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Fatalf("sweep took %v; the wedged case was not reaped", elapsed)
+	}
+}
+
+// TestSweepFailFast restores the legacy first-error-aborts semantics and
+// checks the error still carries full case coordinates.
+func TestSweepFailFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	goals := []float64{0.5}
+	boom := errors.New("boom")
+	faults := NewScriptedFaults(map[int][]FaultSpec{2: {{Err: boom}, {Err: boom}}})
+	r := faultRunner(t, 2, faults)
+	r.SetFaultPolicy(FaultPolicy{FailFast: true})
+	_, err := r.PairSweep(context.Background(), faultPairs, goals, core.SchemeRollover, nil)
+	var ce *CaseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CaseError", err)
+	}
+	if ce.Index != 2 || ce.Case != "pair[2] lbm+sgemm @0.50" {
+		t.Fatalf("coordinates = %d %q", ce.Index, ce.Case)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("CaseError does not unwrap to the root cause")
+	}
+	if len(r.Reports()) != 0 {
+		t.Fatal("aborted sweep must not publish a report")
+	}
+}
+
+// TestSweepJournalResume is the acceptance test for crash recovery: run a
+// journaled sweep, kill it mid-flight (simulated crash via context
+// cancel), then resume into a fresh runner from the journal file. The
+// resumed sweep must skip the checkpointed cases and the merged results
+// must be bit-identical to an uninterrupted reference run.
+func TestSweepJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	pairs := faultPairs
+	goals := []float64{0.4, 0.7}
+	scheme := core.SchemeElastic
+	hash := "exp-fault-test"
+
+	// Reference: uninterrupted, no journal.
+	want, err := testRunner(t, 3).PairSweep(context.Background(), pairs, goals, scheme, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: journaled, "crashes" (ctx cancel) once ≥2 cases landed.
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := journal.Create(path, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r1 := testRunner(t, 2)
+	r1.SetFaultPolicy(FaultPolicy{Journal: j})
+	_, err = r1.PairSweep(ctx, pairs, goals, scheme, func(p Progress) {
+		if p.Done >= 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("crashed run: err = %v, want Canceled", err)
+	}
+	j.Close()
+
+	// Resume: reopen the journal (config hash must match) into a fresh
+	// runner, as a restarted process would.
+	j2, err := journal.Open(path, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() < 2 {
+		t.Fatalf("journal holds %d cases after crash, want >= 2", j2.Len())
+	}
+	r2 := testRunner(t, 3)
+	r2.SetFaultPolicy(FaultPolicy{Journal: j2})
+	got, err := r2.PairSweep(context.Background(), pairs, goals, scheme, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed sweep differs from the uninterrupted reference run")
+	}
+	rep := r2.Reports()[0]
+	if rep.Skipped < 2 || rep.Skipped+rep.Completed != rep.Total {
+		t.Fatalf("resume accounting wrong: %s", rep.Summary())
+	}
+
+	// A journal written under a different session config must not be
+	// spliced in: a runner with another window derives a different stage
+	// key and re-runs everything.
+	r3, err := NewRunner(2, core.WithGPU(func() config.GPU {
+		c := config.Base()
+		c.NumSMs = 4
+		return c
+	}()), core.WithWindow(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.SetFaultPolicy(FaultPolicy{Journal: j2})
+	if _, err := r3.PairSweep(context.Background(), pairs, goals, scheme, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rep := r3.Reports()[0]; rep.Skipped != 0 {
+		t.Fatalf("foreign-config runner resumed %d cases from the journal", rep.Skipped)
+	}
+}
+
+// TestSweepRate covers the satellite fix: no +Inf/NaN rates on cases that
+// complete before the clock meaningfully advances.
+func TestSweepRate(t *testing.T) {
+	if cps, eta := sweepRate(1, 10, 0); cps != 0 || eta != 0 {
+		t.Fatalf("zero elapsed: (%v, %v), want zeros", cps, eta)
+	}
+	if cps, eta := sweepRate(1, 10, 10*time.Nanosecond); cps != 0 || eta != 0 {
+		t.Fatalf("sub-ms elapsed: (%v, %v), want zeros", cps, eta)
+	}
+	if cps, eta := sweepRate(0, 10, time.Second); cps != 0 || eta != 0 {
+		t.Fatalf("nothing done: (%v, %v), want zeros", cps, eta)
+	}
+	cps, eta := sweepRate(5, 10, 10*time.Second)
+	if cps != 0.5 || eta != 10*time.Second {
+		t.Fatalf("(%v, %v), want (0.5, 10s)", cps, eta)
+	}
+	if _, eta := sweepRate(10, 10, time.Second); eta != 0 {
+		t.Fatalf("finished sweep ETA = %v, want 0", eta)
+	}
+}
+
+// TestScriptedFaultsOutsideSweep: an injector must be inert for runs that
+// carry no case index (isolated baselines).
+func TestScriptedFaultsOutsideSweep(t *testing.T) {
+	f := NewScriptedFaults(map[int][]FaultSpec{0: {{Panic: true}}})
+	if err := f.Inject(context.Background()); err != nil {
+		t.Fatalf("Inject outside a sweep = %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/retry"
+)
+
+// FaultSpec scripts one injected fault for a single attempt of a case.
+// The zero value is a clean attempt, so a one-element script models a
+// transient fault: attempt 1 fails, every later attempt succeeds.
+type FaultSpec struct {
+	// Delay sleeps (context-aware) before the outcome below; combined
+	// with the sweep's per-case deadline it models a hung case.
+	Delay time.Duration
+	// Panic crashes the run, exercising the engine's panic isolation.
+	Panic bool
+	// Err fails the run with this error (ignored when Panic is set).
+	Err error
+}
+
+// ScriptedFaults is the standard core.FaultInjector for tests: a script
+// keyed by deterministic case index, consumed one entry per attempt.
+// Attempts beyond a case's script — and cases without one — run clean.
+// Because decisions are keyed on the case index carried by the context
+// (not call order), injection is deterministic no matter how the worker
+// pool schedules cases.
+type ScriptedFaults struct {
+	mu     sync.Mutex
+	script map[int][]FaultSpec
+	seen   map[int]int
+}
+
+// NewScriptedFaults builds an injector from a per-case-index script.
+func NewScriptedFaults(script map[int][]FaultSpec) *ScriptedFaults {
+	return &ScriptedFaults{script: script, seen: make(map[int]int)}
+}
+
+// Attempts reports how many times the case was attempted so far.
+func (f *ScriptedFaults) Attempts(index int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen[index]
+}
+
+// Inject implements core.FaultInjector.
+func (f *ScriptedFaults) Inject(ctx context.Context) error {
+	index, ok := core.CaseIndexFromContext(ctx)
+	if !ok {
+		return nil // outside a sweep (e.g. an isolated baseline)
+	}
+	f.mu.Lock()
+	attempt := f.seen[index]
+	f.seen[index]++
+	var spec FaultSpec
+	if s := f.script[index]; attempt < len(s) {
+		spec = s[attempt]
+	}
+	f.mu.Unlock()
+
+	if spec.Delay > 0 {
+		if err := retry.Sleep(ctx, spec.Delay); err != nil {
+			return err
+		}
+	}
+	if spec.Panic {
+		panic(fmt.Sprintf("exp: injected panic at case %d attempt %d", index, attempt+1))
+	}
+	return spec.Err
+}

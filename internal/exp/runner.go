@@ -2,21 +2,28 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/retry"
 	"repro/internal/workloads"
 )
 
 // Progress is one event of the sweep progress stream. Events are emitted
-// after every completed case; Done is monotonic even though cases finish
-// out of order across workers. Rate fields describe only progress
-// reporting — they never influence simulation results, which stay
-// bit-identical to a serial run.
+// after every resolved case (completed, failed or restored from the
+// journal); Done is monotonic even though cases finish out of order
+// across workers. Rate fields describe only progress reporting — they
+// never influence simulation results, which stay bit-identical to a
+// serial run.
 type Progress struct {
 	// Stage labels the sweep (usually the scheme name; figure drivers
 	// relabel it with the figure id).
@@ -25,7 +32,8 @@ type Progress struct {
 	Done, Total int
 	// Elapsed is wall time since the sweep started.
 	Elapsed time.Duration
-	// CasesPerSec is the sweep's current completion rate.
+	// CasesPerSec is the sweep's current completion rate (0 until enough
+	// wall time has accumulated for a meaningful rate).
 	CasesPerSec float64
 	// ETA estimates the remaining wall time at the current rate.
 	ETA time.Duration
@@ -35,12 +43,38 @@ type Progress struct {
 // implementations need no locking.
 type ProgressFunc func(Progress)
 
-// SweepMetrics summarizes one completed sweep stage.
+// SweepMetrics summarizes one completed sweep stage. Cases counts only
+// cases executed this run (journal-restored cases cost no simulation
+// time and are excluded from the rate).
 type SweepMetrics struct {
 	Stage       string
 	Cases       int
 	Wall        time.Duration
 	CasesPerSec float64
+}
+
+// FaultPolicy configures how a Runner treats failing cases. The zero
+// value reproduces a study run with no safety nets beyond isolation:
+// every case is attempted once, panics and errors are collected into the
+// SweepReport instead of aborting the sweep, and nothing is journaled.
+type FaultPolicy struct {
+	// FailFast restores the pre-fault-tolerance behavior: the first
+	// failing case cancels the sweep and is returned as the error.
+	FailFast bool
+	// CaseTimeout bounds each case attempt; the deadline propagates into
+	// gpu.RunCtx, which polls it at sub-epoch granularity, so a case
+	// that stops progressing is reaped instead of pinning a worker slot.
+	// 0 means no per-case deadline.
+	CaseTimeout time.Duration
+	// Retry re-executes failed cases with backoff. The zero value means
+	// one attempt, no retries.
+	Retry retry.Policy
+	// Journal, when non-nil, records every completed case and is
+	// consulted before sweeping to skip cases a previous (interrupted)
+	// run already completed. Stage keys embed hashes of the session
+	// configuration and the case grid, so one journal can safely back
+	// several studies and derived (With) runners.
+	Journal *journal.Journal
 }
 
 // Runner is the parallel sweep engine: a fixed pool of workers, each
@@ -52,13 +86,20 @@ type SweepMetrics struct {
 // completion order, and each case is bit-identical to what the serial
 // PairSweep/TrioSweep functions produce: per-case determinism comes from
 // the seeded RNG streams in internal/rng, not from scheduling.
+//
+// The runner is also the fault boundary of a study: each case executes
+// under a recover() that converts panics into typed CaseErrors, under the
+// FaultPolicy's per-case deadline and retry budget, and behind the
+// checkpoint journal — so one sick case costs one case, not the sweep.
 type Runner struct {
 	workers  int
 	opts     []core.Option
 	sessions []*core.Session
+	fault    FaultPolicy
 
 	mu      sync.Mutex
 	metrics []SweepMetrics
+	reports []*SweepReport
 }
 
 // NewRunner builds a Runner with the given worker count (0 or negative
@@ -83,14 +124,26 @@ func NewRunner(workers int, opts ...core.Option) (*Runner, error) {
 	return r, nil
 }
 
-// With derives a Runner with the same worker count and base options plus
-// extra ones (later options override earlier, so e.g.
+// With derives a Runner with the same worker count, fault policy and base
+// options plus extra ones (later options override earlier, so e.g.
 // core.WithQoSOptions replaces the base tuning). The derived runner gets
 // a fresh isolated cache: changed options may change baselines.
 func (r *Runner) With(extra ...core.Option) (*Runner, error) {
 	opts := append(append([]core.Option(nil), r.opts...), extra...)
-	return NewRunner(r.workers, opts...)
+	d, err := NewRunner(r.workers, opts...)
+	if err != nil {
+		return nil, err
+	}
+	d.fault = r.fault
+	return d, nil
 }
+
+// SetFaultPolicy installs the fault policy for subsequent sweeps. Call it
+// before sweeping, not concurrently with one.
+func (r *Runner) SetFaultPolicy(p FaultPolicy) { r.fault = p }
+
+// FaultPolicyInEffect returns the installed fault policy.
+func (r *Runner) FaultPolicyInEffect() FaultPolicy { return r.fault }
 
 // Workers returns the pool size.
 func (r *Runner) Workers() int { return r.workers }
@@ -113,29 +166,69 @@ func (r *Runner) Metrics() []SweepMetrics {
 	return append([]SweepMetrics(nil), r.metrics...)
 }
 
+// Reports returns the fault report of every sweep this runner completed,
+// in completion order. Sweeps aborted by cancellation or fail-fast do not
+// produce a report.
+func (r *Runner) Reports() []*SweepReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*SweepReport(nil), r.reports...)
+}
+
+// runShielded executes one case attempt inside the fault boundary: the
+// context is tagged with the case index (for fault injectors), bounded by
+// the per-case deadline, and panics are converted into *PanicError so a
+// crashing case surfaces as a value instead of killing the process.
+func runShielded(ctx context.Context, s *core.Session, i int, timeout time.Duration, runCase func(context.Context, *core.Session, int) error) (err error) {
+	caseCtx := core.ContextWithCaseIndex(ctx, i)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		caseCtx, cancel = context.WithTimeout(caseCtx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return runCase(caseCtx, s, i)
+}
+
 // sweep fans total cases out over the worker pool. runCase must write its
 // result into caller-owned storage at index i (indices never collide, so
-// no locking is needed on the result slice). The first error cancels the
-// remaining cases and is returned; external cancellation surfaces as the
-// parent context's error.
-func (r *Runner) sweep(parent context.Context, stage string, total int, runCase func(ctx context.Context, s *core.Session, i int) error, progress ProgressFunc) error {
+// no locking is needed on the result slice). Cases listed in skip are
+// counted as already resolved and never executed; record (if non-nil) is
+// invoked after each successful case to checkpoint it.
+//
+// Failure semantics follow the fault policy: each case gets
+// Retry.MaxAttempts isolated attempts under CaseTimeout; a case that
+// still fails becomes a *CaseError in the returned report (or, with
+// FailFast, cancels the sweep and is returned as the error). External
+// cancellation always aborts and surfaces the parent context's error.
+func (r *Runner) sweep(parent context.Context, stage string, total int, skip map[int]bool, describe func(i int) string, runCase func(ctx context.Context, s *core.Session, i int) error, record func(i int) error, progress ProgressFunc) (*SweepReport, error) {
+	rep := &SweepReport{Stage: stage, Total: total, Skipped: len(skip)}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
 	if total == 0 {
-		return parent.Err()
+		return rep, nil
 	}
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
+	fp := r.fault
 	start := time.Now()
+	pending := total - len(skip)
 	workers := r.workers
-	if workers > total {
-		workers = total
+	if workers > pending {
+		workers = pending
 	}
 	jobs := make(chan int)
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		done     int
+		done     = len(skip)
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -144,6 +237,28 @@ func (r *Runner) sweep(parent context.Context, stage string, total int, runCase 
 		}
 		mu.Unlock()
 		cancel()
+	}
+	// resolve accounts for one case reaching a final state (ce == nil for
+	// success) and emits the progress event under the lock, so the
+	// callback never sees events out of order and needs no
+	// synchronization.
+	resolve := func(ce *CaseError, retried bool) {
+		mu.Lock()
+		done++
+		if ce != nil {
+			rep.Failed = append(rep.Failed, ce)
+		} else {
+			rep.Completed++
+			if retried {
+				rep.Retried++
+			}
+		}
+		if progress != nil {
+			p := Progress{Stage: stage, Done: done, Total: total, Elapsed: time.Since(start)}
+			p.CasesPerSec, p.ETA = sweepRate(done, total, p.Elapsed)
+			progress(p)
+		}
+		mu.Unlock()
 	}
 	for w := 0; w < workers; w++ {
 		s := r.sessions[w]
@@ -155,29 +270,48 @@ func (r *Runner) sweep(parent context.Context, stage string, total int, runCase 
 					fail(err)
 					return
 				}
-				if err := runCase(ctx, s, i); err != nil {
-					fail(err)
-					return
-				}
-				mu.Lock()
-				done++
-				if progress != nil {
-					elapsed := time.Since(start)
-					p := Progress{Stage: stage, Done: done, Total: total, Elapsed: elapsed}
-					if secs := elapsed.Seconds(); secs > 0 {
-						p.CasesPerSec = float64(done) / secs
-						p.ETA = time.Duration(float64(total-done) / p.CasesPerSec * float64(time.Second))
+				attempts := 0
+				err := fp.Retry.Do(ctx, uint64(i), func(attempt int) error {
+					attempts = attempt
+					return runShielded(ctx, s, i, fp.CaseTimeout, runCase)
+				})
+				if err != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						// The sweep itself is being torn down; the case
+						// error is a cancellation artifact, not a result.
+						fail(cerr)
+						return
 					}
-					// Emit under the lock so the callback never sees
-					// events out of order and needs no synchronization.
-					progress(p)
+					ce := &CaseError{Stage: stage, Index: i, Case: describe(i), Attempts: attempts, Err: err}
+					var pe *PanicError
+					if errors.As(err, &pe) {
+						ce.Stack = pe.Stack
+					}
+					if fp.FailFast {
+						fail(ce)
+						return
+					}
+					resolve(ce, false)
+					continue
 				}
-				mu.Unlock()
+				if record != nil {
+					if rerr := record(i); rerr != nil {
+						// A broken checkpoint journal means completed work
+						// is silently unprotected; stop rather than let
+						// the operator find out after the next crash.
+						fail(fmt.Errorf("exp: journal %s case %d: %w", stage, i, rerr))
+						return
+					}
+				}
+				resolve(nil, attempts > 1)
 			}
 		}()
 	}
 feed:
 	for i := 0; i < total; i++ {
+		if skip[i] {
+			continue
+		}
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -194,59 +328,163 @@ feed:
 		err = parent.Err()
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
+	sort.Slice(rep.Failed, func(a, b int) bool { return rep.Failed[a].Index < rep.Failed[b].Index })
 	wall := time.Since(start)
-	m := SweepMetrics{Stage: stage, Cases: total, Wall: wall}
+	m := SweepMetrics{Stage: stage, Cases: pending, Wall: wall}
 	if secs := wall.Seconds(); secs > 0 {
-		m.CasesPerSec = float64(total) / secs
+		m.CasesPerSec = float64(pending) / secs
 	}
 	r.mu.Lock()
 	r.metrics = append(r.metrics, m)
+	r.reports = append(r.reports, rep)
 	r.mu.Unlock()
-	return nil
+	return rep, nil
+}
+
+// stageKey derives the journal key for one sweep stage: a readable prefix
+// plus hashes of the session configuration (device, window, tuning, seed)
+// and the case grid. Two sweeps share journaled cases only when both
+// hashes agree, so derived runners and differently-subsampled studies can
+// never splice each other's results.
+func (r *Runner) stageKey(kind string, scheme core.Scheme, grid any) (string, error) {
+	sess, err := journal.Hash(struct {
+		Config core.Config
+		Seed   uint64
+	}{r.Session().Config(), r.Session().Seed()})
+	if err != nil {
+		return "", err
+	}
+	gh, err := journal.Hash(grid)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", kind, scheme.Name(), sess[:12], gh[:12]), nil
+}
+
+// journalHooks wires one sweep to the checkpoint journal: restore() is
+// called for every journaled case of this stage (returning false rejects
+// the payload), and the returned record hook checkpoints newly completed
+// cases. With no journal configured both returns are nil.
+func (r *Runner) journalHooks(kind string, scheme core.Scheme, grid any, total int, restore func(i int, raw json.RawMessage) bool, snapshot func(i int) any) (map[int]bool, func(i int) error, error) {
+	j := r.fault.Journal
+	if j == nil {
+		return nil, nil, nil
+	}
+	key, err := r.stageKey(kind, scheme, grid)
+	if err != nil {
+		return nil, nil, err
+	}
+	skip := make(map[int]bool)
+	for i, raw := range j.Completed(key) {
+		if i < 0 || i >= total || !restore(i, raw) {
+			continue
+		}
+		skip[i] = true
+	}
+	record := func(i int) error { return j.Append(key, i, snapshot(i)) }
+	return skip, record, nil
+}
+
+// pairGrid is the hashed identity of a pair-sweep grid.
+type pairGrid struct {
+	Pairs []workloads.Pair
+	Goals []float64
 }
 
 // PairSweep runs every pair at every goal under the scheme across the
 // worker pool and returns the cases in deterministic (pair-major,
 // goal-minor) order — identical, case for case, to the serial PairSweep.
+//
+// Under the fault policy, failed cases are left zero in the returned
+// slice (Res == nil) and reported via a *SweepError; callers that can use
+// partial grids inspect its Report, others treat it as fatal.
 func (r *Runner) PairSweep(ctx context.Context, pairs []workloads.Pair, goals []float64, scheme core.Scheme, progress ProgressFunc) ([]PairCase, error) {
 	out := make([]PairCase, len(pairs)*len(goals))
-	err := r.sweep(ctx, scheme.String(), len(out), func(ctx context.Context, s *core.Session, i int) error {
+	describe := func(i int) string {
+		p, g := pairs[i/len(goals)], goals[i%len(goals)]
+		return fmt.Sprintf("pair[%d] %s+%s @%.2f", i/len(goals), p.QoS, p.NonQoS, g)
+	}
+	skip, record, err := r.journalHooks("pairs", scheme, pairGrid{pairs, goals}, len(out),
+		func(i int, raw json.RawMessage) bool {
+			var c PairCase
+			if json.Unmarshal(raw, &c) != nil || c.Res == nil {
+				return false
+			}
+			out[i] = c
+			return true
+		},
+		func(i int) any { return out[i] })
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.sweep(ctx, scheme.String(), len(out), skip, describe, func(ctx context.Context, s *core.Session, i int) error {
 		p, g := pairs[i/len(goals)], goals[i%len(goals)]
 		res, err := s.Run(ctx, pairSpecs(p, g), scheme)
 		if err != nil {
-			return fmt.Errorf("pair %s+%s @%.2f: %w", p.QoS, p.NonQoS, g, err)
+			return err
 		}
 		out[i] = PairCase{Pair: p, Goal: g, Scheme: scheme, Res: res}
 		return nil
-	}, progress)
+	}, record, progress)
 	if err != nil {
 		return nil, err
+	}
+	if rerr := rep.Err(); rerr != nil {
+		return out, rerr
 	}
 	return out, nil
 }
 
+// trioGrid is the hashed identity of a trio-sweep grid.
+type trioGrid struct {
+	Trios []workloads.Trio
+	Goals []float64
+	NQoS  int
+}
+
 // TrioSweep runs every trio at every goal with nQoS QoS kernels (1 or 2)
 // across the worker pool, merging results in deterministic (trio-major,
-// goal-minor) order — identical to the serial TrioSweep.
+// goal-minor) order — identical to the serial TrioSweep. Failure
+// semantics match PairSweep.
 func (r *Runner) TrioSweep(ctx context.Context, trios []workloads.Trio, goals []float64, nQoS int, scheme core.Scheme, progress ProgressFunc) ([]TrioCase, error) {
 	if nQoS < 1 || nQoS > 2 {
 		return nil, fmt.Errorf("exp: nQoS must be 1 or 2, got %d", nQoS)
 	}
 	out := make([]TrioCase, len(trios)*len(goals))
-	err := r.sweep(ctx, scheme.String(), len(out), func(ctx context.Context, s *core.Session, i int) error {
+	describe := func(i int) string {
+		t, g := trios[i/len(goals)], goals[i%len(goals)]
+		return fmt.Sprintf("trio[%d] %s+%s+%s @%.2f", i/len(goals), t.A, t.B, t.C, g)
+	}
+	skip, record, err := r.journalHooks("trios", scheme, trioGrid{trios, goals, nQoS}, len(out),
+		func(i int, raw json.RawMessage) bool {
+			var c TrioCase
+			if json.Unmarshal(raw, &c) != nil || c.Res == nil {
+				return false
+			}
+			out[i] = c
+			return true
+		},
+		func(i int) any { return out[i] })
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.sweep(ctx, scheme.String(), len(out), skip, describe, func(ctx context.Context, s *core.Session, i int) error {
 		t, g := trios[i/len(goals)], goals[i%len(goals)]
 		specs, qg := trioSpecs(t, g, nQoS)
 		res, err := s.Run(ctx, specs, scheme)
 		if err != nil {
-			return fmt.Errorf("trio %s+%s+%s @%.2f: %w", t.A, t.B, t.C, g, err)
+			return err
 		}
 		out[i] = TrioCase{Trio: t, QoSGoals: qg, Scheme: scheme, Res: res}
 		return nil
-	}, progress)
+	}, record, progress)
 	if err != nil {
 		return nil, err
+	}
+	if rerr := rep.Err(); rerr != nil {
+		return out, rerr
 	}
 	return out, nil
 }

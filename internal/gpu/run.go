@@ -18,11 +18,17 @@ func (g *GPU) Run(cycles int64) {
 // once per quota epoch (the natural consistency point — counters have
 // just been rolled and the controller consulted), so a cancel mid-window
 // returns within one epoch of simulated work rather than after the full
-// window. It returns the context's error when canceled, nil otherwise.
+// window. When the context carries a deadline — the sweep engine's
+// per-case timeout — it is additionally polled at every idle-warp sample
+// boundary, so a case that stops making progress (for example an epoch
+// whose simulated work degenerates) is reaped at sub-epoch granularity
+// instead of pinning its worker slot for a whole epoch. It returns the
+// context's error when canceled, nil otherwise.
 func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	_, deadlined := ctx.Deadline()
 	end := g.Now + cycles
 	sampleEvery := g.Cfg.EpochLength / int64(g.Cfg.IdleWarpSamples)
 	if sampleEvery < 1 {
@@ -53,6 +59,11 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 				s.SampleIdleWarps(now, g.idleAcc[s.ID])
 			}
 			g.idleSamples++
+			if deadlined {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 		}
 		if now > 0 && now%g.Cfg.EpochLength == 0 {
 			g.rollEpoch(now)

@@ -1,0 +1,47 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunCtxPreExpiredDeadline(t *testing.T) {
+	g, err := New(smallCfg(), buildKernels(t, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := g.RunCtx(ctx, 50_000); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if g.Now != 0 {
+		t.Fatalf("simulated %d cycles under an expired deadline", g.Now)
+	}
+}
+
+// TestRunCtxDeadlineReapsMidEpoch cancels a deadlined run from another
+// goroutine and expects RunCtx to bail out well before the requested
+// window: with a deadline present the context is polled at idle-warp
+// sample boundaries, not just at epoch rollover.
+func TestRunCtxDeadlineReapsMidEpoch(t *testing.T) {
+	g, err := New(smallCfg(), buildKernels(t, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Hour))
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	const window = 500_000_000 // far more than 2ms of simulated work
+	err = g.RunCtx(ctx, window)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if g.Now >= window {
+		t.Fatal("run completed the full window despite cancellation")
+	}
+}

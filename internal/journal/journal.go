@@ -1,0 +1,321 @@
+// Package journal implements the sweep checkpoint journal: a JSON-lines
+// file that records every completed case of a study so an interrupted
+// sweep (crash, Ctrl-C, power loss) resumes where it stopped instead of
+// rerunning hundreds of simulations.
+//
+// Integrity model, outermost first:
+//
+//   - Every write replaces the whole file atomically (tmp + fsync +
+//     rename), so a reader or a crash-recovery pass never observes a torn
+//     line from our own writer.
+//   - The first line is a header carrying the schema Version and a
+//     configuration hash; Open refuses a journal whose hash differs from
+//     the resuming study's, so a stale journal cannot silently splice
+//     results from a different configuration into a new study.
+//   - Every line carries a CRC of its payload, catching external
+//     corruption (truncation, editor mangling, bit rot). Recovery stops
+//     at the first damaged line and keeps everything before it.
+//
+// Case payloads are opaque JSON produced by the sweep engine. Go's JSON
+// encoding of float64 is round-trip exact, so a case restored from the
+// journal is bit-identical to the run that produced it.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Version is the on-disk schema version. Bump it when the line layout
+// changes; Open rejects journals written by other versions.
+const Version = 1
+
+// Sentinel errors callers can test with errors.Is.
+var (
+	// ErrConfigMismatch marks a journal written by a study with a
+	// different configuration hash.
+	ErrConfigMismatch = errors.New("journal: config hash mismatch (journal belongs to a different study)")
+	// ErrVersion marks a journal written by an unsupported schema version.
+	ErrVersion = errors.New("journal: unsupported schema version")
+	// ErrNoHeader marks a journal whose first line is missing or corrupt.
+	ErrNoHeader = errors.New("journal: missing or corrupt header")
+	// ErrClosed is returned by Append after Close.
+	ErrClosed = errors.New("journal: closed")
+)
+
+// line is the on-disk representation of one record.
+type line struct {
+	V      int             `json:"v"`
+	Kind   string          `json:"kind"` // "header" | "case"
+	Config string          `json:"config,omitempty"`
+	Stage  string          `json:"stage,omitempty"`
+	Index  int             `json:"index,omitempty"`
+	Data   json.RawMessage `json:"data,omitempty"`
+	CRC    uint32          `json:"crc"`
+}
+
+// payload returns the bytes the line's CRC covers.
+func (l line) payload() []byte {
+	if l.Kind == "header" {
+		return []byte(l.Config)
+	}
+	return l.Data
+}
+
+// Record is one decoded journal line.
+type Record struct {
+	Header bool   // true for the header line
+	Config string // header only: the study's configuration hash
+	Stage  string // case only: sweep stage key
+	Index  int    // case only: deterministic case index
+	Data   json.RawMessage
+}
+
+// Decode parses and validates one journal line: JSON shape, schema
+// version, field sanity and payload CRC. It is the single entry point for
+// untrusted bytes (FuzzJournalDecode fuzzes it).
+func Decode(b []byte) (Record, error) {
+	var l line
+	if err := json.Unmarshal(b, &l); err != nil {
+		return Record{}, fmt.Errorf("journal: bad line: %w", err)
+	}
+	if l.V != Version {
+		return Record{}, fmt.Errorf("%w: %d (want %d)", ErrVersion, l.V, Version)
+	}
+	switch l.Kind {
+	case "header":
+		if l.Config == "" {
+			return Record{}, errors.New("journal: header without config hash")
+		}
+	case "case":
+		if l.Stage == "" || l.Index < 0 || len(l.Data) == 0 {
+			return Record{}, errors.New("journal: malformed case line")
+		}
+	default:
+		return Record{}, fmt.Errorf("journal: unknown line kind %q", l.Kind)
+	}
+	if crc := crc32.ChecksumIEEE(l.payload()); crc != l.CRC {
+		return Record{}, fmt.Errorf("journal: CRC mismatch (stored %08x, computed %08x)", l.CRC, crc)
+	}
+	return Record{
+		Header: l.Kind == "header",
+		Config: l.Config,
+		Stage:  l.Stage,
+		Index:  l.Index,
+		Data:   l.Data,
+	}, nil
+}
+
+// encode stamps version and CRC and serializes the line.
+func encode(l line) ([]byte, error) {
+	l.V = Version
+	l.CRC = crc32.ChecksumIEEE(l.payload())
+	return json.Marshal(l)
+}
+
+// Hash fingerprints a configuration value: SHA-256 over its JSON
+// encoding, hex-encoded. Callers hash everything that determines sweep
+// results (device config, window, seed, grids) so Open can reject stale
+// journals. Struct fields encode in declaration order and maps sort by
+// key, so equal values always hash equal.
+func Hash(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("journal: hash config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// entryKey addresses one completed case.
+type entryKey struct {
+	stage string
+	index int
+}
+
+// Journal is an open checkpoint journal. All methods are safe for
+// concurrent use; the sweep engine appends from every worker goroutine.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	lines   [][]byte // encoded records, header first
+	entries map[entryKey]json.RawMessage
+	closed  bool
+}
+
+// Create starts a fresh journal at path, truncating any existing file,
+// and durably writes the header.
+func Create(path, configHash string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	hl, err := encode(line{Kind: "header", Config: configHash})
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{path: path, lines: [][]byte{hl}, entries: make(map[entryKey]json.RawMessage)}
+	if err := j.flushLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Open loads an existing journal for resume, verifying the schema version
+// and that its header hash matches configHash. A missing file starts a
+// fresh journal (resuming a study that never checkpointed is legal).
+// Recovery stops at the first damaged line — everything before it is
+// intact by construction — and the damaged tail is dropped on the next
+// Append's rewrite.
+func Open(path, configHash string) (*Journal, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Create(path, configHash)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	j := &Journal{path: path, entries: make(map[entryKey]json.RawMessage)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	first := true
+	for sc.Scan() {
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		rec, derr := Decode(b)
+		if derr != nil {
+			if first {
+				if errors.Is(derr, ErrVersion) {
+					return nil, derr
+				}
+				return nil, fmt.Errorf("%w: %v", ErrNoHeader, derr)
+			}
+			break
+		}
+		if first {
+			if !rec.Header {
+				return nil, ErrNoHeader
+			}
+			if rec.Config != configHash {
+				return nil, fmt.Errorf("%w: journal %.12s… vs study %.12s…", ErrConfigMismatch, rec.Config, configHash)
+			}
+			first = false
+		} else if !rec.Header {
+			j.entries[entryKey{rec.Stage, rec.Index}] = rec.Data
+		}
+		j.lines = append(j.lines, append([]byte(nil), b...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, ErrNoHeader
+	}
+	return j, nil
+}
+
+// Append durably records one completed case. v is marshaled to JSON; the
+// whole journal is rewritten to a temporary file and atomically renamed
+// over path so a crash mid-write can never leave a torn line.
+func (j *Journal) Append(stage string, index int, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: marshal case %s/%d: %w", stage, index, err)
+	}
+	l, err := encode(line{Kind: "case", Stage: stage, Index: index, Data: data})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	j.lines = append(j.lines, l)
+	j.entries[entryKey{stage, index}] = data
+	return j.flushLocked()
+}
+
+// flushLocked writes the journal via tmp+fsync+rename. Callers hold
+// j.mu (or own the journal exclusively, as Create does).
+func (j *Journal) flushLocked() error {
+	var buf bytes.Buffer
+	for _, l := range j.lines {
+		buf.Write(l)
+		buf.WriteByte('\n')
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, j.path)
+}
+
+// Lookup returns the journaled payload for one case.
+func (j *Journal) Lookup(stage string, index int) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, ok := j.entries[entryKey{stage, index}]
+	return data, ok
+}
+
+// Completed returns every journaled case of a stage, keyed by case index.
+func (j *Journal) Completed(stage string) map[int]json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[int]json.RawMessage)
+	for k, v := range j.entries {
+		if k.stage == stage {
+			out[k.index] = v
+		}
+	}
+	return out
+}
+
+// Len reports the number of journaled cases across all stages.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close marks the journal read-only. Every Append was already durable, so
+// Close performs no IO; it exists to surface accidental use-after-close.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+	return nil
+}
