@@ -1,12 +1,14 @@
 # Build, test and verification entry points. `make ci` is the gate run
-# before merging: vet, the race-detector pass over the packages that do
-# concurrent work (the sweep engine, the session facade it drives, and
-# the retry/journal fault-tolerance layer), the full test suite, and a
-# short fuzz run over the checkpoint-journal decoder.
+# before merging: vet (plus staticcheck when installed), the
+# race-detector pass over the packages that do concurrent work (the sweep
+# engine, the session facade it drives, the retry/journal fault-tolerance
+# layer, and the tracing collector), the full test suite, a trace-emit
+# benchmark smoke, and a short fuzz run over the checkpoint-journal
+# decoder.
 
 GO ?= go
 
-.PHONY: all build test bench race fuzz ci clean
+.PHONY: all build test bench race fuzz staticcheck bench-trace ci clean
 
 all: build
 
@@ -22,7 +24,19 @@ bench:
 
 # Race-detector pass over the concurrent packages.
 race:
-	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/...
+	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/... ./internal/trace/...
+
+# Static analysis beyond vet; skipped (not failed) when the tool is not
+# installed, so CI works on a bare Go toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+
+# Trace-collector benchmark smoke: one iteration of the enabled and
+# disabled emit paths, so a regression that makes the no-op path allocate
+# or slow down is visible in CI output.
+bench-trace:
+	$(GO) test -bench=BenchmarkEmit -benchtime=100x -run='^$$' ./internal/trace
 
 # Time-boxed fuzz pass over the journal line decoder (crash-recovery
 # parsing of arbitrary bytes).
@@ -31,8 +45,11 @@ fuzz:
 
 ci:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/... ./internal/trace/...
 	$(GO) test ./...
+	$(GO) test -bench=BenchmarkEmit -benchtime=100x -run='^$$' ./internal/trace
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=10s
 
 clean:

@@ -24,17 +24,20 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		kernels = flag.String("kernels", "sgemm:0.8,lbm", "comma-separated NAME[:GOALFRAC] list")
-		scheme  = flag.String("scheme", "rollover", "none|naive|naive-history|elastic|rollover|rollover-time|spart|fair")
-		window  = flag.Int64("window", 200_000, "measurement window in cycles")
-		scale   = flag.Bool("scale56", false, "use the 56-SM configuration (Section 4.6)")
-		list    = flag.Bool("list", false, "list available workloads and exit")
-		timeout = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none)")
+		kernels  = flag.String("kernels", "sgemm:0.8,lbm", "comma-separated NAME[:GOALFRAC] list")
+		scheme   = flag.String("scheme", "rollover", "none|naive|naive-history|elastic|rollover|rollover-time|spart|fair")
+		window   = flag.Int64("window", 200_000, "measurement window in cycles")
+		scale    = flag.Bool("scale56", false, "use the 56-SM configuration (Section 4.6)")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		timeout  = flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none)")
+		tracePth = flag.String("trace", "", "write an event trace of the co-run to this file")
+		traceFmt = flag.String("trace-format", "jsonl", "trace encoding: jsonl|chrome")
 	)
 	flag.Parse()
 
@@ -52,7 +55,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *kernels, *scheme, *window, *scale); err != nil {
+	if err := run(ctx, *kernels, *scheme, *window, *scale, *tracePth, *traceFmt); err != nil {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(1)
 	}
@@ -82,12 +85,16 @@ func parseSpecs(s string) ([]core.KernelSpec, error) {
 	return specs, nil
 }
 
-func run(ctx context.Context, kernels, schemeName string, window int64, scale bool) error {
+func run(ctx context.Context, kernels, schemeName string, window int64, scale bool, tracePath, traceFormat string) error {
 	specs, err := parseSpecs(kernels)
 	if err != nil {
 		return err
 	}
 	scheme, err := core.ParseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	traceFmtVal, err := trace.ParseFormat(traceFormat)
 	if err != nil {
 		return err
 	}
@@ -119,9 +126,20 @@ func run(ctx context.Context, kernels, schemeName string, window int64, scale bo
 		return fmt.Errorf("scheme %v needs at least one kernel with a goal (NAME:FRAC)", scheme)
 	}
 
-	res, err := session.Run(ctx, specs, scheme)
+	var tr *trace.Tracer
+	if tracePath != "" {
+		tr = trace.New(trace.DefaultRingSize)
+	}
+	res, err := session.RunTraced(ctx, specs, scheme, tr)
 	if err != nil {
 		return err
+	}
+	if tracePath != "" {
+		if err := trace.WriteFile(tracePath, tr, traceFmtVal); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped) -> %s\n",
+			tr.Len(), tr.Dropped(), tracePath)
 	}
 	fmt.Printf("scheme %v, %d SMs, %d cycles\n\n", res.Scheme, cfg.NumSMs, res.Cycles)
 	fmt.Printf("%-14s %-5s %10s %10s %10s %8s %9s\n",

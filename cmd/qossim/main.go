@@ -40,6 +40,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/journal"
 	"repro/internal/retry"
+	"repro/internal/trace"
 )
 
 // options carries the parsed command line.
@@ -56,6 +57,8 @@ type options struct {
 	failFast    bool
 	caseTimeout time.Duration
 	retries     int
+	traceDir    string
+	traceFmt    string
 }
 
 func main() {
@@ -72,6 +75,8 @@ func main() {
 	flag.BoolVar(&o.failFast, "fail-fast", false, "abort a sweep on the first failing case")
 	flag.DurationVar(&o.caseTimeout, "case-timeout", 0, "per-case deadline (0 = none)")
 	flag.IntVar(&o.retries, "retries", 0, "extra attempts per failing case")
+	flag.StringVar(&o.traceDir, "trace", "", "directory for per-case event traces (empty = tracing off)")
+	flag.StringVar(&o.traceFmt, "trace-format", "jsonl", "trace encoding: jsonl|chrome")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -129,6 +134,15 @@ func newStudy(cfg config.GPU, o options, jnl *journal.Journal) (exp.Study, error
 			Seed:        r.Session().Seed(),
 		},
 	})
+	if o.traceDir != "" {
+		f, err := trace.ParseFormat(o.traceFmt)
+		if err != nil {
+			return exp.Study{}, err
+		}
+		if err := r.SetTraceDir(o.traceDir, f); err != nil {
+			return exp.Study{}, err
+		}
+	}
 	var st exp.Study
 	if o.full {
 		st = exp.FullStudy(r)

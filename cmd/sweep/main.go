@@ -27,6 +27,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/journal"
 	"repro/internal/retry"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -58,6 +61,9 @@ type options struct {
 	caseTimeout time.Duration
 	retries     int
 	backoff     time.Duration
+	traceDir    string
+	traceFmt    string
+	pprofAddr   string
 }
 
 func main() {
@@ -76,7 +82,18 @@ func main() {
 	flag.DurationVar(&o.caseTimeout, "case-timeout", 0, "per-case deadline (0 = none)")
 	flag.IntVar(&o.retries, "retries", 0, "extra attempts per failing case")
 	flag.DurationVar(&o.backoff, "retry-backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+	flag.StringVar(&o.traceDir, "trace", "", "directory for per-case event traces (empty = tracing off)")
+	flag.StringVar(&o.traceFmt, "trace-format", "jsonl", "trace encoding: jsonl|chrome")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if o.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: pprof server:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -192,6 +209,13 @@ func run(ctx context.Context, o options) error {
 		defer jnl.Close()
 	}
 	runner.SetFaultPolicy(faultPolicy(o, jnl, runner.Session().Seed()))
+	traceFmtVal, err := trace.ParseFormat(o.traceFmt)
+	if err != nil {
+		return err
+	}
+	if err := runner.SetTraceDir(o.traceDir, traceFmtVal); err != nil {
+		return err
+	}
 	if o.subsample < 1 {
 		o.subsample = 1
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/qos"
 	"repro/internal/spart"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -327,6 +328,15 @@ type Result struct {
 // ctx is honored at epoch boundaries of the cycle loop and returns the
 // context's error.
 func (s *Session) Run(ctx context.Context, specs []KernelSpec, scheme Scheme) (*Result, error) {
+	return s.RunTraced(ctx, specs, scheme, nil)
+}
+
+// RunTraced is Run with an observability tracer attached to the simulated
+// device for the whole co-run: every layer (TB scheduler, SMs, QoS
+// manager, spatial controller) emits its control decisions into tr, which
+// the caller exports afterwards (trace.Export / trace.WriteFile). A nil
+// tracer makes RunTraced identical to Run.
+func (s *Session) RunTraced(ctx context.Context, specs []KernelSpec, scheme Scheme, tr *trace.Tracer) (*Result, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("core: no kernels")
 	}
@@ -368,6 +378,11 @@ func (s *Session) Run(ctx context.Context, specs []KernelSpec, scheme Scheme) (*
 	g, err := gpu.New(s.cfg.GPU, kernels)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		// Attach before the scheme installs so the first quota
+		// allocation (epoch 0, cycle 0) is captured too.
+		g.SetTracer(tr)
 	}
 	if err := installScheme(g, scheme, goals, isolated, s.cfg.QoSOptions); err != nil {
 		return nil, err

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/retry"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -97,6 +100,12 @@ type Runner struct {
 	sessions []*core.Session
 	fault    FaultPolicy
 
+	// Per-case trace output (SetTraceDir). Every traced case gets its
+	// own trace.Tracer — tracers are unsynchronized by design, so
+	// sharing one across workers would race.
+	traceDir    string
+	traceFormat trace.Format
+
 	mu      sync.Mutex
 	metrics []SweepMetrics
 	reports []*SweepReport
@@ -135,7 +144,43 @@ func (r *Runner) With(extra ...core.Option) (*Runner, error) {
 		return nil, err
 	}
 	d.fault = r.fault
+	d.traceDir, d.traceFormat = r.traceDir, r.traceFormat
 	return d, nil
+}
+
+// SetTraceDir enables per-case event tracing for subsequent sweeps:
+// every case runs with its own tracer and writes one trace file into dir,
+// named by its grid coordinates (sweep kind, case index, workloads, goal,
+// scheme). An empty dir disables tracing. Call before sweeping, not
+// concurrently with one.
+func (r *Runner) SetTraceDir(dir string, f trace.Format) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	r.traceDir = dir
+	r.traceFormat = f
+	return nil
+}
+
+// runCase executes one sweep case, with a per-case tracer and trace file
+// when SetTraceDir configured one. name must be unique within the sweep
+// (it keys the output file).
+func (r *Runner) runCase(ctx context.Context, s *core.Session, name string, specs []core.KernelSpec, scheme core.Scheme) (*core.Result, error) {
+	if r.traceDir == "" {
+		return s.Run(ctx, specs, scheme)
+	}
+	tr := trace.New(trace.DefaultRingSize)
+	res, err := s.RunTraced(ctx, specs, scheme, tr)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(r.traceDir, name+r.traceFormat.Ext())
+	if werr := trace.WriteFile(path, tr, r.traceFormat); werr != nil {
+		return nil, fmt.Errorf("exp: write trace %s: %w", path, werr)
+	}
+	return res, nil
 }
 
 // SetFaultPolicy installs the fault policy for subsequent sweeps. Call it
@@ -421,7 +466,8 @@ func (r *Runner) PairSweep(ctx context.Context, pairs []workloads.Pair, goals []
 	}
 	rep, err := r.sweep(ctx, scheme.String(), len(out), skip, describe, func(ctx context.Context, s *core.Session, i int) error {
 		p, g := pairs[i/len(goals)], goals[i%len(goals)]
-		res, err := s.Run(ctx, pairSpecs(p, g), scheme)
+		name := fmt.Sprintf("pair%03d_%s+%s_g%.2f_%s", i, p.QoS, p.NonQoS, g, scheme.Name())
+		res, err := r.runCase(ctx, s, name, pairSpecs(p, g), scheme)
 		if err != nil {
 			return err
 		}
@@ -473,7 +519,8 @@ func (r *Runner) TrioSweep(ctx context.Context, trios []workloads.Trio, goals []
 	rep, err := r.sweep(ctx, scheme.String(), len(out), skip, describe, func(ctx context.Context, s *core.Session, i int) error {
 		t, g := trios[i/len(goals)], goals[i%len(goals)]
 		specs, qg := trioSpecs(t, g, nQoS)
-		res, err := s.Run(ctx, specs, scheme)
+		name := fmt.Sprintf("trio%03d_%s+%s+%s_g%.2f_q%d_%s", i, t.A, t.B, t.C, g, nQoS, scheme.Name())
+		res, err := r.runCase(ctx, s, name, specs, scheme)
 		if err != nil {
 			return err
 		}

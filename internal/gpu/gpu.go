@@ -21,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/preempt"
 	"repro/internal/sm"
+	"repro/internal/trace"
 )
 
 // Controller steers a running GPU. Implementations: qos.Manager,
@@ -47,6 +48,11 @@ type GPU struct {
 	controller Controller
 	gate       sm.QuotaGate
 
+	// Observability (nil-safe; nil when tracing is off).
+	tracer        *trace.Tracer
+	cEpochs       *trace.Counter // scheduled epoch rolls
+	cForcedEpochs *trace.Counter // controller-forced (elastic) rolls
+
 	// masks[slot][smID]: whether the kernel may hold TBs on the SM.
 	masks [][]bool
 
@@ -64,6 +70,15 @@ type GPU struct {
 	needDispatch bool
 	Now          int64
 	epochIdx     int
+
+	// nextEpochAt is the cycle of the next scheduled epoch roll. Epochs
+	// are tracked as a moving deadline rather than `now % EpochLength`:
+	// a controller that restarts an epoch early (Elastic, Section 3.4.3)
+	// calls ForceEpochRoll, which rolls the counters *and* pushes the
+	// deadline out a full epoch — so a forced roll and the fixed modulo
+	// can never both fire for the same interval (the double-roll bug
+	// that mis-attributed instructions to the wrong EpochRecord).
+	nextEpochAt int64
 }
 
 // New builds a GPU for the configuration and co-running kernels. The
@@ -115,11 +130,26 @@ func New(cfg config.GPU, kernels []*kern.Kernel) (*GPU, error) {
 		g.idleAcc[i] = make([]int64, n)
 	}
 	g.needDispatch = true
+	g.nextEpochAt = cfg.EpochLength
 	return g, nil
 }
 
 // SetController installs the run controller (may be nil).
 func (g *GPU) SetController(c Controller) { g.controller = c }
+
+// SetTracer attaches the observability tracer to the device and every SM
+// (nil detaches). Controllers read it back via Tracer.
+func (g *GPU) SetTracer(tr *trace.Tracer) {
+	g.tracer = tr
+	g.cEpochs = tr.Registry().Counter("epochs")
+	g.cForcedEpochs = tr.Registry().Counter("epochs_forced")
+	for _, s := range g.SMs {
+		s.SetTracer(tr)
+	}
+}
+
+// Tracer returns the attached tracer (possibly nil).
+func (g *GPU) Tracer() *trace.Tracer { return g.tracer }
 
 // SetGate installs the warp schedulers' quota gate on every SM without
 // disturbing TB caps or residency.
@@ -181,6 +211,7 @@ func (g *GPU) onTBComplete(smID, slot int) {
 		g.nextGridIdx[slot] = 0
 		g.launchGateAt[slot] = g.Now + g.Cfg.KernelLaunchDelay
 		g.Stats[slot].Launches++
+		g.tracer.KernelRelaunch(g.Now, slot, g.Stats[slot].Launches)
 	}
 }
 

@@ -45,9 +45,11 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 		// Rotate the SM service order every cycle: memory backpressure is
 		// evaluated at issue time, so a fixed order would hand the
 		// whole under-cap admission budget to the lowest-numbered SMs
-		// every cycle and starve the rest.
+		// every cycle and starve the rest. The modulo must happen in
+		// int64: int(now)%n goes negative past 2^31 cycles on 32-bit
+		// ints, turning the rotation index into a panic-grade offset.
 		n := len(g.SMs)
-		start := int(now) % n
+		start := int(now % int64(n))
 		for i := 0; i < n; i++ {
 			g.SMs[(start+i)%n].Cycle(now)
 		}
@@ -65,8 +67,13 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 				}
 			}
 		}
-		if now > 0 && now%g.Cfg.EpochLength == 0 {
+		if now >= g.nextEpochAt {
+			// Scheduled roll. A controller that already forced a roll
+			// this interval pushed nextEpochAt past now, so the two can
+			// never fire for the same epoch.
 			g.rollEpoch(now)
+			g.nextEpochAt = now + g.Cfg.EpochLength
+			g.cEpochs.Inc()
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -79,19 +86,40 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 // the controller's epoch hook.
 func (g *GPU) rollEpoch(now int64) {
 	g.epochIdx++
+	g.tracer.SetEpoch(g.epochIdx)
 	for slot, st := range g.Stats {
 		instrs := st.BeginEpoch()
+		tbs := g.TotalResidentTBs(slot)
 		g.Rec.Add(slot, metrics.EpochRecord{
 			Epoch:    g.epochIdx,
 			EndCycle: now,
 			Instrs:   instrs,
-			TBsHeld:  g.TotalResidentTBs(slot),
+			TBsHeld:  tbs,
 		})
+		g.tracer.EpochRoll(now, slot, instrs, tbs)
 	}
 	if g.controller != nil {
 		g.controller.OnEpoch(now)
 	}
 }
+
+// ForceEpochRoll rolls the epoch immediately — counters, records,
+// controller hook — and restarts the scheduled epoch clock a full epoch
+// from now. Controllers that shorten epochs (Elastic) call this instead
+// of duplicating the roll locally, so the GPU's EpochRecords and the
+// controller's OnEpoch observations always describe the same interval.
+func (g *GPU) ForceEpochRoll(now int64) {
+	g.rollEpoch(now)
+	g.nextEpochAt = now + g.Cfg.EpochLength
+	g.cForcedEpochs.Inc()
+}
+
+// EpochIndex returns the number of epoch rolls (scheduled plus forced) so
+// far.
+func (g *GPU) EpochIndex() int { return g.epochIdx }
+
+// NextEpochAt returns the cycle of the next scheduled epoch roll.
+func (g *GPU) NextEpochAt() int64 { return g.nextEpochAt }
 
 // IdleWarpAverages returns the mean sampled idle-warp count per SM and
 // kernel slot since the last call, then resets the accumulators. The
@@ -111,8 +139,13 @@ func (g *GPU) IdleWarpAverages() [][]float64 {
 	return out
 }
 
-// IPC returns kernel slot's cumulative thread-IPC so far.
-func (g *GPU) IPC(slot int) float64 { return g.Stats[slot].IPC(g.Now) }
+// IPC returns kernel slot's thread-IPC over its active window (first
+// issue through last issue). A kernel that launched late (relaunch
+// delay, deferred context restore) or drained early is judged on the
+// cycles it could actually issue in, not on wall-clock cycles it never
+// saw — the dilution previously made goal-attainment checks pass or
+// fail on scheduling artifacts.
+func (g *GPU) IPC(slot int) float64 { return g.Stats[slot].ActiveIPC() }
 
 // TotalThreadInstrs sums executed thread instructions across kernels.
 func (g *GPU) TotalThreadInstrs() int64 {

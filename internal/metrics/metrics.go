@@ -44,14 +44,58 @@ type KernelStats struct {
 	EpochStartInstrs int64 // ThreadInstrs at the top of the epoch
 	LastEpochInstrs  int64 // instructions executed in the previous epoch
 	StartCycle       int64 // first cycle the kernel was resident
+
+	// Active-window bookkeeping maintained by the SM issue path. A
+	// kernel that launches late (relaunch delay, deferred context
+	// restore) or drains early must not have its IPC diluted by cycles
+	// it could not possibly issue in; goal-attainment checks use the
+	// [FirstIssueCycle, LastIssueCycle] window instead of cumulative
+	// elapsed cycles. HasIssued disambiguates a first issue at cycle 0
+	// from "never issued".
+	HasIssued       bool
+	FirstIssueCycle int64 // cycle of the first issued warp instruction
+	LastIssueCycle  int64 // cycle of the most recent issued warp instruction
 }
 
 // IPC returns the kernel's cumulative thread-IPC over elapsed cycles.
+// This dilutes kernels that launched late or drained early; ActiveIPC is
+// the window-corrected form the QoS controllers use.
 func (k *KernelStats) IPC(cycles int64) float64 {
 	if cycles <= 0 {
 		return 0
 	}
 	return float64(k.ThreadInstrs) / float64(cycles)
+}
+
+// NoteIssue records an issued warp instruction at the given cycle for
+// active-window accounting. The SM issue path calls this once per issue.
+func (k *KernelStats) NoteIssue(now int64) {
+	if !k.HasIssued {
+		k.HasIssued = true
+		k.FirstIssueCycle = now
+	}
+	k.LastIssueCycle = now
+}
+
+// ActiveWindow returns the kernel's active-cycle window: first issue
+// through last issue, inclusive. Zero before the first issue.
+func (k *KernelStats) ActiveWindow() int64 {
+	if !k.HasIssued {
+		return 0
+	}
+	return k.LastIssueCycle - k.FirstIssueCycle + 1
+}
+
+// ActiveIPC returns thread-IPC over the kernel's active-cycle window —
+// the denominator excludes cycles before the kernel first issued and
+// after it drained, so late launches and early completion do not dilute
+// the measurement the goal checks consume.
+func (k *KernelStats) ActiveIPC() float64 {
+	w := k.ActiveWindow()
+	if w <= 0 {
+		return 0
+	}
+	return float64(k.ThreadInstrs) / float64(w)
 }
 
 // BeginEpoch snapshots the counters at an epoch boundary and returns the
@@ -102,6 +146,20 @@ func NewRecorder(n int) *Recorder {
 // Add appends an epoch record for kernel k.
 func (r *Recorder) Add(k int, rec EpochRecord) {
 	r.ByKernel[k] = append(r.ByKernel[k], rec)
+}
+
+// AnnotateLast fills the quota/α fields of kernel k's most recent epoch
+// record. The GPU creates records at the roll (it does not know quotas);
+// the QoS manager annotates them from its epoch hook with the values
+// that were in force during the recorded epoch. No-op when the kernel
+// has no records yet (the install-time quota refresh precedes epoch 1).
+func (r *Recorder) AnnotateLast(k int, quota, alpha float64) {
+	recs := r.ByKernel[k]
+	if len(recs) == 0 {
+		return
+	}
+	recs[len(recs)-1].Quota = quota
+	recs[len(recs)-1].Alpha = alpha
 }
 
 // MeanEpochInstrs returns the mean per-epoch instruction count of kernel

@@ -1,0 +1,92 @@
+package qos
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestElasticEpochRecordsMatchElasticNew is the regression test for the
+// epoch-roll accounting bug: Elastic used to restart epochs by topping up
+// per-SM counters locally while the GPU kept rolling on its own fixed
+// schedule, so the recorded epochs never lined up with the intervals the
+// controller actually managed (and a forced restart landing near a
+// boundary double-rolled). With ForceEpochRoll the GPU's EpochRecords,
+// the scheduled epoch clock, and Elastic's early restarts must all
+// describe the same intervals:
+//
+//   - scheduled rolls close an interval of exactly EpochLength cycles;
+//   - every early restart closes a strictly shorter interval;
+//   - the number of short intervals equals Manager.ElasticNew, which in
+//     turn equals the tracer's epochs_forced counter;
+//   - scheduled + forced rolls account for every EpochRecord.
+func TestElasticEpochRecordsMatchElasticNew(t *testing.T) {
+	iso := isolatedIPC(t, 40_000)
+	g := newGPU(t, "a", "b")
+	tr := trace.New(trace.DefaultRingSize)
+	g.SetTracer(tr)
+	goals := []float64{0.3 * iso, 0}
+	SetupFineGrained(g, goals, []float64{0.3, 0})
+	m, err := New(g, Elastic, goals, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Install()
+	g.Run(40_000)
+
+	if m.ElasticNew == 0 {
+		t.Fatal("elastic never restarted an epoch early; test needs a forced roll")
+	}
+	recs := g.Rec.ByKernel[0]
+	if len(recs) != g.EpochIndex() {
+		t.Fatalf("slot 0 has %d epoch records, GPU rolled %d epochs", len(recs), g.EpochIndex())
+	}
+
+	epochLen := g.Cfg.EpochLength
+	short, prev := 0, int64(0)
+	for i, r := range recs {
+		gap := r.EndCycle - prev
+		if gap > epochLen {
+			t.Fatalf("epoch %d spans %d cycles (> EpochLength %d): a forced roll failed to reset the epoch clock",
+				i, gap, epochLen)
+		}
+		if gap < epochLen {
+			short++
+		}
+		prev = r.EndCycle
+	}
+	if int64(short) != m.ElasticNew {
+		t.Fatalf("%d short epochs recorded, but ElasticNew = %d: early restarts and epoch records disagree",
+			short, m.ElasticNew)
+	}
+
+	forced := tr.Registry().Counter("epochs_forced").Value()
+	scheduled := tr.Registry().Counter("epochs").Value()
+	if int64(forced) != m.ElasticNew {
+		t.Fatalf("epochs_forced counter = %v, ElasticNew = %d", forced, m.ElasticNew)
+	}
+	if int(forced+scheduled) != g.EpochIndex() {
+		t.Fatalf("scheduled (%v) + forced (%v) rolls != %d total epochs", scheduled, forced, g.EpochIndex())
+	}
+}
+
+// TestForcedRollDefersScheduledRoll pins the double-roll fix directly: a
+// forced roll must push the next scheduled roll a full epoch out, so the
+// two can never fire for the same interval.
+func TestForcedRollDefersScheduledRoll(t *testing.T) {
+	g := newGPU(t, "a", "b")
+	epochLen := g.Cfg.EpochLength
+	if g.NextEpochAt() != epochLen {
+		t.Fatalf("fresh GPU schedules first roll at %d, want %d", g.NextEpochAt(), epochLen)
+	}
+	g.Run(100) // mid-epoch
+	before := g.EpochIndex()
+	g.ForceEpochRoll(g.Now)
+	if g.EpochIndex() != before+1 {
+		t.Fatal("ForceEpochRoll did not roll the epoch")
+	}
+	if want := g.Now + epochLen; g.NextEpochAt() != want {
+		t.Fatalf("next scheduled roll at %d after a forced roll at %d, want %d",
+			g.NextEpochAt(), g.Now, want)
+	}
+}

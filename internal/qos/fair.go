@@ -68,9 +68,14 @@ func (f *Fair) OnCycle(now int64) { f.m.OnCycle(now) }
 // OnEpoch retargets every kernel at the slowest kernel's normalized
 // progress plus one step, then refreshes quotas.
 func (f *Fair) OnEpoch(now int64) {
+	for slot := range f.m.quota {
+		f.m.g.Rec.AnnotateLast(slot, f.m.quota[slot], f.m.alpha[slot])
+	}
 	minNorm := 2.0
-	for slot, st := range f.m.g.Stats {
-		norm := st.IPC(now) / f.isolated[slot]
+	for slot := range f.m.g.Stats {
+		// Normalized progress over the kernel's active window, so a
+		// relaunch gap does not read as unfairness.
+		norm := f.m.g.IPC(slot) / f.isolated[slot]
 		if norm < minNorm {
 			minNorm = norm
 		}
@@ -81,9 +86,14 @@ func (f *Fair) OnEpoch(now int64) {
 	}
 	for slot := range f.m.goals {
 		f.m.goals[slot] = f.isolated[slot] * target
+		f.m.g.Tracer().GoalCheck(now, slot, f.m.g.IPC(slot), f.m.goals[slot])
+	}
+	dur := now - f.m.epochStartCycle
+	if dur <= 0 {
+		dur = f.m.epochLen
 	}
 	for slot, st := range f.m.g.Stats {
-		f.m.lastEpoch[slot] = float64(st.LastEpochInstrs) / float64(f.m.epochLen)
+		f.m.lastEpoch[slot] = float64(st.LastEpochInstrs) / float64(dur)
 	}
 	f.m.snapshotExhaustion()
 	f.m.refreshQuotas(now)
@@ -93,8 +103,8 @@ func (f *Fair) OnEpoch(now int64) {
 // (max - min); 0 is perfectly fair.
 func (f *Fair) Unfairness(now int64) float64 {
 	lo, hi := 2.0, 0.0
-	for slot, st := range f.m.g.Stats {
-		norm := st.IPC(now) / f.isolated[slot]
+	for slot := range f.m.g.Stats {
+		norm := f.m.g.IPC(slot) / f.isolated[slot]
 		if norm < lo {
 			lo = norm
 		}

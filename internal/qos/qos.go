@@ -258,6 +258,43 @@ func (m *Manager) OnCycle(now int64) {
 	if !m.qosExhaustedEverywhere() {
 		return
 	}
+	if m.scheme == Elastic {
+		// Elastic starts the next epoch the moment every kernel's quota
+		// is spent (Figure 4b) — as a real epoch roll, not a local
+		// counter top-up. Routing the early start through the GPU's
+		// ForceEpochRoll keeps the device's EpochRecords, the epoch
+		// clock and this manager's OnEpoch observing the same interval;
+		// the previous local top-up left the fixed epoch timer running,
+		// so the boundary roll double-counted the shortened epoch and
+		// attributed its instructions to a window the controller never
+		// saw. Counters keep their negative remainders; refreshQuotas
+		// pools them as debt.
+		if now <= m.epochStartCycle {
+			return
+		}
+		anyResident := false
+		for smID := range m.counters {
+			c := m.counters[smID]
+			s := m.g.SMs[smID]
+			for _, slot := range m.nonQoS {
+				if c[slot] > 0 && s.ResidentTBs(slot) > 0 {
+					return // unspent quota remains; no early epoch yet
+				}
+			}
+			for slot := range c {
+				if s.ResidentTBs(slot) > 0 {
+					anyResident = true
+				}
+			}
+		}
+		if !anyResident {
+			return
+		}
+		m.ElasticNew++
+		m.g.Tracer().ElasticEpoch(now, now-m.epochStartCycle)
+		m.g.ForceEpochRoll(now)
+		return
+	}
 	for smID := range m.counters {
 		c := m.counters[smID]
 		s := m.g.SMs[smID]
@@ -271,30 +308,14 @@ func (m *Manager) OnCycle(now int64) {
 		if !exhausted {
 			continue
 		}
-		if m.scheme == Elastic {
-			// A new epoch starts immediately on this SM; counters
-			// carry their (negative) remainders (Figure 4b).
-			any := false
-			for slot := range c {
-				share := m.share(smID, slot)
-				if share > 0 {
-					c[slot] += share
-					any = true
-				}
-			}
-			if any {
-				m.ElasticNew++
-				s.Wake(now)
-			}
-			continue
-		}
-		// Other schemes: top up only the non-QoS kernels so they keep
-		// the SM busy until the epoch boundary.
+		// Top up only the non-QoS kernels so they keep the SM busy
+		// until the epoch boundary.
 		any := false
 		for _, slot := range m.nonQoS {
 			share := m.share(smID, slot)
 			if share > 0 {
 				c[slot] += share
+				m.g.Tracer().Replenish(now, smID, slot, share)
 				any = true
 			}
 		}
@@ -321,9 +342,22 @@ func (m *Manager) qosExhaustedEverywhere() bool {
 // OnEpoch recomputes α, non-QoS artificial goals and quotas, then runs
 // the static TB adjuster.
 func (m *Manager) OnEpoch(now int64) {
+	// Annotate the EpochRecords the GPU just closed with the quota and α
+	// that were actually in force during that epoch (they were computed
+	// at the previous refresh, so they are about to be overwritten).
+	for slot := range m.quota {
+		m.g.Rec.AnnotateLast(slot, m.quota[slot], m.alpha[slot])
+	}
 	// IPC of the epoch that just ended (the GPU rolled counters first).
+	// The denominator is the epoch's actual duration: under Elastic an
+	// epoch ends early via ForceEpochRoll, and dividing by the nominal
+	// length would understate every shortened epoch's IPC.
+	dur := now - m.epochStartCycle
+	if dur <= 0 {
+		dur = m.epochLen
+	}
 	for slot, st := range m.g.Stats {
-		m.lastEpoch[slot] = float64(st.LastEpochInstrs) / float64(m.epochLen)
+		m.lastEpoch[slot] = float64(st.LastEpochInstrs) / float64(dur)
 	}
 	// Non-QoS artificial goal update (Section 3.5) uses how completely
 	// each QoS kernel consumed its allowance (quota plus rolled-over
@@ -341,7 +375,10 @@ func (m *Manager) OnEpoch(now int64) {
 			if m.allowance[q] <= 0 {
 				continue
 			}
-			f := m.lastEpoch[q] * float64(m.epochLen) / m.allowance[q]
+			// Consumed fraction of the allowance, from the raw epoch
+			// instruction count (duration-independent, so shortened
+			// elastic epochs compare correctly).
+			f := float64(m.g.Stats[q].LastEpochInstrs) / m.allowance[q]
 			if f > 0.995 {
 				f = 1
 			}
@@ -354,7 +391,9 @@ func (m *Manager) OnEpoch(now int64) {
 		if next > m.peakIPC {
 			next = m.peakIPC
 		}
-		m.nonQoSGoal[slot] = 0.5*m.nonQoSGoal[slot] + 0.5*next
+		prev := m.nonQoSGoal[slot]
+		m.nonQoSGoal[slot] = 0.5*prev + 0.5*next
+		m.g.Tracer().ArtificialGoal(now, slot, m.nonQoSGoal[slot], prev)
 	}
 	// History-based α for QoS kernels (Section 3.4.2). The α that was
 	// in force during the finished epoch is kept for the static
@@ -362,8 +401,13 @@ func (m *Manager) OnEpoch(now int64) {
 	for _, q := range m.qosSlots {
 		m.prevAlpha[q] = m.alpha[q]
 		m.alpha[q] = 1
+		// History uses the kernel's active-window IPC: a kernel held off
+		// the SMs by a relaunch gate or a pending context restore was
+		// previously judged on cycles it could not issue in, inflating α
+		// (and therefore its quota) for scheduling artifacts rather than
+		// genuine interference.
+		hist := m.g.IPC(q)
 		if m.scheme.historyAdjusted() && !m.opts.DisableHistory {
-			hist := m.g.Stats[q].IPC(now)
 			if hist > 0 {
 				if a := m.goals[q] / hist; a > 1 {
 					m.alpha[q] = a
@@ -374,7 +418,11 @@ func (m *Manager) OnEpoch(now int64) {
 			if m.alpha[q] > m.opts.AlphaCap {
 				m.alpha[q] = m.opts.AlphaCap
 			}
+			if m.alpha[q] != m.prevAlpha[q] {
+				m.g.Tracer().Alpha(now, q, m.alpha[q], m.prevAlpha[q])
+			}
 		}
+		m.g.Tracer().GoalCheck(now, q, hist, m.goals[q])
 	}
 	// The static adjuster reads the finished epoch's exhaustion data, so
 	// it runs before the quota refresh resets it; the refresh then sees
@@ -406,6 +454,19 @@ func (m *Manager) snapshotExhaustion() {
 // refreshQuotas computes per-slot epoch quotas and resets the per-SM
 // counters according to the scheme's carry rule.
 func (m *Manager) refreshQuotas(now int64) {
+	tr := m.g.Tracer()
+	// Consumption of the epoch that just ended, read off the counters
+	// before they are reset. Leftover can be negative (overshoot past
+	// zero within one warp instruction, or elastic debt).
+	if m.started && tr.Enabled() {
+		for slot := range m.quota {
+			var leftover float64
+			for smID := range m.counters {
+				leftover += m.counters[smID][slot]
+			}
+			tr.QuotaConsumed(now, slot, m.allowance[slot]-leftover, leftover)
+		}
+	}
 	for slot := range m.quota {
 		if m.isQoS[slot] {
 			m.quota[slot] = m.alpha[slot] * m.goals[slot] * float64(m.epochLen) * (1 + m.opts.QuotaMargin)
@@ -444,6 +505,10 @@ func (m *Manager) refreshQuotas(now int64) {
 	}
 	for slot := range m.allowance {
 		m.allowance[slot] = m.quota[slot] + carry[slot]
+		tr.QuotaGrant(now, slot, m.quota[slot], m.alpha[slot])
+		if carry[slot] != 0 {
+			tr.QuotaCarry(now, slot, carry[slot], m.allowance[slot])
+		}
 	}
 	for smID := range m.counters {
 		c := m.counters[smID]

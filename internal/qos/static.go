@@ -23,13 +23,13 @@ func (m *Manager) adjustTBs(now int64) {
 	// boundary keeps the QoS kernel orbiting the goal from below.
 	release := true
 	for _, q := range m.qosSlots {
-		if m.g.Stats[q].IPC(now) < m.goals[q]*1.01 {
+		if m.g.IPC(q) < m.goals[q]*1.01 {
 			release = false
 			break
 		}
 	}
 	for _, q := range m.qosSlots {
-		hist := m.g.Stats[q].IPC(now)
+		hist := m.g.IPC(q)
 		if hist >= m.goals[q] {
 			m.deficitStreak[q] = 0
 			continue
@@ -91,6 +91,7 @@ func (m *Manager) releaseToNonQoS(idle [][]float64) {
 				continue
 			}
 			s.SetTBCap(slot, cap+1)
+			m.g.Tracer().TBAdjust(now, smID, slot, cap+1, cap)
 			m.g.RequestDispatch()
 		}
 	}
@@ -106,7 +107,7 @@ func (m *Manager) reclaimFromQoS(now int64, smID, nq int, idle [][]float64) bool
 	need := m.g.Kernels[nq].TBResources()
 	for _, j := range m.qosSlots {
 		resident := s.ResidentTBs(j)
-		if resident == 0 || m.g.Stats[j].IPC(now) < m.goals[j]*1.02 {
+		if resident == 0 || m.g.IPC(j) < m.goals[j]*1.02 {
 			continue // never nibble a kernel sitting at its goal edge
 		}
 		n := tbsToEvict(s, need, m.g.Kernels[j].TBResources())
@@ -121,7 +122,9 @@ func (m *Manager) reclaimFromQoS(now int64, smID, nq int, idle [][]float64) bool
 				return i > 0 && s.RoomWithoutCap(nq)
 			}
 		}
+		prev := s.TBCap(j)
 		s.SetTBCap(j, s.ResidentTBs(j))
+		m.g.Tracer().TBAdjust(now, smID, j, s.TBCap(j), prev)
 		return true
 	}
 	return false
@@ -161,6 +164,7 @@ func (m *Manager) addOneTB(now int64, q int, idle [][]float64) bool {
 func (m *Manager) raiseCap(s *sm.SM, slot int) {
 	if cap := s.TBCap(slot); cap >= 0 {
 		s.SetTBCap(slot, cap+1)
+		m.g.Tracer().TBAdjust(m.g.Now, s.ID, slot, cap+1, cap)
 	}
 }
 
@@ -190,7 +194,9 @@ func (m *Manager) evictForOne(now int64, smID, q int, idle [][]float64) bool {
 		}
 		// Pin the victim's cap so the dispatcher does not refill the
 		// space before q claims it.
+		prev := s.TBCap(j)
 		s.SetTBCap(j, s.ResidentTBs(j))
+		m.g.Tracer().TBAdjust(now, smID, j, s.TBCap(j), prev)
 		return true
 	}
 	return false
@@ -225,7 +231,7 @@ func (m *Manager) victimOK(now int64, smID, j, n int, idle [][]float64) bool {
 	if !m.isQoS[j] {
 		return true
 	}
-	hist := m.g.Stats[j].IPC(now)
+	hist := m.g.IPC(j)
 	if hist < m.goals[j] {
 		return false
 	}

@@ -28,10 +28,15 @@ func (s *SM) Cycle(now int64) {
 	s.memIssues = 0
 	for slot := range s.kernels {
 		ok := s.gate == nil || s.gate.CanIssue(s.ID, slot)
-		s.gateOK[slot] = ok
 		if !ok && s.kernels[slot].tbs > 0 {
 			s.kernels[slot].stats.ThrottledCycles++
+			if s.gateOK[slot] {
+				// Transition into quota-denied: trace the edge, not
+				// every throttled cycle.
+				s.tracer.GateStall(now, s.ID, slot, -1)
+			}
 		}
+		s.gateOK[slot] = ok
 	}
 
 	issued := false
@@ -155,6 +160,7 @@ func (s *SM) issue(now int64, sch *scheduler, w *Warp) {
 	st := s.kernels[w.slot].stats
 	st.WarpInstrs++
 	st.ThreadInstrs += int64(lanes)
+	st.NoteIssue(now)
 	s.IssuedWarpInstrs++
 	if s.gate != nil {
 		s.gate.OnIssue(s.ID, w.slot, lanes)

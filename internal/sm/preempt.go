@@ -50,7 +50,9 @@ func (s *SM) PreemptTB(now int64, slot int) (ctx *TBContext, ctxBytes int, ok bo
 	victim.BarrierWait = 0
 	s.freeTB(victim)
 	s.kernels[slot].stats.TBsPreempted++
-	return ctx, victim.Kernel.TBResources().CtxBytes, true
+	ctxBytes = victim.Kernel.TBResources().CtxBytes
+	s.tracer.TBPreempt(now, s.ID, slot, victim.GridIdx, ctxBytes)
+	return ctx, ctxBytes, true
 }
 
 // tbIdle reports whether no warp of tb can issue right now.
@@ -75,6 +77,9 @@ func (s *SM) DrainAll(now int64) (ctxs []*TBContext, bytes int) {
 		}
 		ctxs = append(ctxs, ctx)
 		bytes += b
+	}
+	if len(ctxs) > 0 {
+		s.tracer.SMDrain(now, s.ID, len(ctxs), bytes)
 	}
 	return ctxs, bytes
 }

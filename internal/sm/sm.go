@@ -18,6 +18,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // QuotaGate is the interface between the Enhanced Warp Scheduler and the
@@ -105,6 +106,7 @@ type SM struct {
 	memSys *mem.System
 	l1     *cache.Cache
 	gate   QuotaGate
+	tracer *trace.Tracer // nil when tracing is off; every emit is nil-safe
 
 	scheds  []scheduler
 	nextSch int // round-robin warp placement cursor
@@ -198,6 +200,12 @@ func (s *SM) Configure(kernels []*kern.Kernel, stats []*metrics.KernelStats, gat
 
 // SetGate replaces the quota gate, leaving caps and residency intact.
 func (s *SM) SetGate(gate QuotaGate) { s.gate = gate }
+
+// SetTracer attaches the observability tracer (nil turns tracing off).
+func (s *SM) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// Tracer returns the attached tracer (possibly nil).
+func (s *SM) Tracer() *trace.Tracer { return s.tracer }
 
 // SetTBCap sets the per-SM thread-block cap for a kernel slot (<0 removes
 // the cap). The static resource manager drives this.
@@ -329,6 +337,11 @@ func (s *SM) Dispatch(now int64, slot, gridIdx int, resume *TBContext) *TB {
 		s.residentKernels++
 	}
 	ks.stats.TBsDispatched++
+	if resume != nil {
+		s.tracer.TBRestore(now, s.ID, slot, gridIdx)
+	} else {
+		s.tracer.TBDispatch(now, s.ID, slot, gridIdx)
+	}
 
 	warpsPerTB := k.WarpsPerTB()
 	tb := &TB{Kernel: k, Slot: slot, GridIdx: gridIdx, dispatchedAt: now}

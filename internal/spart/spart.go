@@ -186,7 +186,7 @@ func (c *Controller) OnEpoch(now int64) {
 		if !c.isQoS[slot] || goal <= 0 {
 			continue
 		}
-		ratio := c.g.Stats[slot].IPC(now) / goal
+		ratio := c.g.IPC(slot) / goal
 		if ratio < 1 && ratio < worst {
 			needy, worst = slot, ratio
 		}
@@ -213,7 +213,7 @@ func (c *Controller) OnEpoch(now int64) {
 		if n <= 1 {
 			continue
 		}
-		hist := c.g.Stats[slot].IPC(now)
+		hist := c.g.IPC(slot)
 		if hist*float64(n-1)/float64(n) > goal*c.marginScale {
 			c.moveSM(now, slot, recv)
 			c.GiveBacks++
@@ -245,7 +245,7 @@ func (c *Controller) pickDonor(now int64, needy int) int {
 		if n <= 1 {
 			continue
 		}
-		hist := c.g.Stats[slot].IPC(now)
+		hist := c.g.IPC(slot)
 		if hist*float64(n-1)/float64(n) > goal*c.marginScale {
 			return slot
 		}
@@ -276,6 +276,7 @@ func (c *Controller) moveSM(now int64, donor, recv int) {
 		}
 		c.g.DrainSM(now, i)
 		c.owner[i] = recv
+		c.g.Tracer().SMMove(now, i, recv)
 		c.applyMasks()
 		return
 	}

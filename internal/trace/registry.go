@@ -1,0 +1,140 @@
+package trace
+
+import "sort"
+
+// Counter is a monotonically increasing run-level statistic. Handles are
+// obtained from a Registry once at setup and incremented on the hot path
+// without any map lookup or allocation; a nil *Counter (from a nil
+// registry) is a valid no-op sink.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v += delta
+	}
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Name returns the registered name ("" for nil).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a run-level statistic that can move in both directions
+// (e.g. the current artificial IPC goal). Same handle discipline as
+// Counter.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value. Nil-safe.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Name returns the registered name ("" for nil).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Registry holds named counters and gauges for one traced run. It is the
+// "run-level counters" half of the observability layer: cheap handles on
+// the hot path, a stable sorted snapshot at export time. Like the
+// Tracer, a Registry is owned by one simulation and unsynchronized; the
+// nil *Registry hands out nil handles, which are valid no-op sinks.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// Counter returns the named counter handle, creating it on first use.
+// Nil-safe: a nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge handle, creating it on first use.
+// Nil-safe: a nil registry returns a nil (no-op) handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Counters returns every registered counter sorted by name (stable
+// export order). Nil-safe.
+func (r *Registry) Counters() []*Counter {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Gauges returns every registered gauge sorted by name. Nil-safe.
+func (r *Registry) Gauges() []*Gauge {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
