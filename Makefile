@@ -2,9 +2,10 @@
 # before merging: vet (plus staticcheck when installed), the
 # race-detector pass over the packages that do concurrent work (the sweep
 # engine, the session facade it drives, the retry/journal fault-tolerance
-# layer, and the tracing collector), the full test suite, a trace-emit
-# benchmark smoke, and a short fuzz run over the checkpoint-journal
-# decoder.
+# layer, the tracing collector, and the qosd admission server), the full
+# test suite — which includes the daemon's httptest smoke and the
+# 50-client concurrent-admission soak — a trace-emit benchmark smoke,
+# and a short fuzz run over the checkpoint-journal decoder.
 
 GO ?= go
 
@@ -24,7 +25,7 @@ bench:
 
 # Race-detector pass over the concurrent packages.
 race:
-	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/... ./internal/trace/...
+	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/... ./internal/trace/... ./internal/server/...
 
 # Static analysis beyond vet; skipped (not failed) when the tool is not
 # installed, so CI works on a bare Go toolchain.
@@ -47,8 +48,9 @@ ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipping"; fi
-	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/... ./internal/trace/...
+	$(GO) test -race ./internal/exp/... ./internal/core/... ./internal/journal/... ./internal/retry/... ./internal/trace/... ./internal/server/...
 	$(GO) test ./...
+	$(GO) test -run 'TestEndpointsSmoke|TestAdmissionTable' -count=1 ./internal/server
 	$(GO) test -bench=BenchmarkEmit -benchtime=100x -run='^$$' ./internal/trace
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=10s
 

@@ -26,7 +26,7 @@ import (
 // from the larger cmd/qossim runs.
 func benchStudy(b *testing.B, cfg config.GPU) exp.Study {
 	b.Helper()
-	r, err := exp.NewRunner(0, core.WithGPU(cfg), core.WithWindow(60_000))
+	r, err := exp.NewRunner(0, exp.WithSessionOptions(core.WithGPU(cfg), core.WithWindow(60_000)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -43,7 +43,7 @@ var (
 // measurements and memoized scheme sweeps are shared.
 func baseStudy(b *testing.B) exp.Study {
 	baseStudyOnce.Do(func() {
-		r, err := exp.NewRunner(0, core.WithGPU(config.Base()), core.WithWindow(60_000))
+		r, err := exp.NewRunner(0, exp.WithSessionOptions(core.WithGPU(config.Base()), core.WithWindow(60_000)))
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,143 @@
+// Command qosd serves the QoS simulator as an admission-control daemon.
+// Clients POST kernel specs with QoS goals (fractional, absolute IPC, or
+// application deadlines) to /v1/jobs; the daemon runs a what-if co-run
+// of the currently admitted mix plus the candidate on a parallel worker
+// pool and admits the kernel only when every QoS goal of the resulting
+// mix is predicted to hold. Admitted jobs occupy a mix slot until
+// released with DELETE /v1/jobs/{id}.
+//
+// SIGTERM/SIGINT drains gracefully: new submissions get 503, queued jobs
+// still receive verdicts, then the listener closes. With -journal every
+// decision is logged crash-safely and a restarted daemon re-admits the
+// mix it had accepted.
+//
+// Usage:
+//
+//	qosd -addr :8715
+//	qosd -addr :8715 -scheme rollover -workers 4 -mix 3 -journal qosd.log
+//
+//	curl -s localhost:8715/v1/jobs -d '{"kernel":{"workload":"sgemm","goal_frac":0.95}}'
+//	curl -s 'localhost:8715/v1/jobs/job-000001?wait=1'
+//	curl -N localhost:8715/v1/jobs/job-000001/events
+//	curl -s -X DELETE localhost:8715/v1/jobs/job-000001
+//	curl -s localhost:8715/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/retry"
+	"repro/internal/server"
+	"repro/internal/workloads"
+)
+
+// options carries the parsed command line.
+type options struct {
+	addr        string
+	schemeName  string
+	window      int64
+	scale       bool
+	workers     int
+	mix         int
+	queue       int
+	jobTimeout  time.Duration
+	retries     int
+	journalPath string
+	drainWait   time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "localhost:8715", "listen address")
+	flag.StringVar(&o.schemeName, "scheme", "rollover", "QoS scheme evaluations run under")
+	flag.Int64Var(&o.window, "window", 200_000, "measurement window in cycles per what-if run")
+	flag.BoolVar(&o.scale, "scale56", false, "use the 56-SM configuration")
+	flag.IntVar(&o.workers, "workers", 0, "evaluation worker pool size (0 = one per CPU)")
+	flag.IntVar(&o.mix, "mix", 3, "max concurrently admitted kernels")
+	flag.IntVar(&o.queue, "queue", 16, "max queued admission decisions before 429")
+	flag.DurationVar(&o.jobTimeout, "job-timeout", 2*time.Minute, "per-evaluation deadline (0 = none)")
+	flag.IntVar(&o.retries, "retries", 1, "extra attempts per failing evaluation")
+	flag.StringVar(&o.journalPath, "journal", "", "crash-safe job log (restores the admitted mix on restart)")
+	flag.DurationVar(&o.drainWait, "drain-wait", 30*time.Second, "graceful drain budget on SIGTERM")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "qosd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	scheme, err := core.ParseScheme(o.schemeName)
+	if err != nil {
+		return err
+	}
+	cfg := config.Base()
+	if o.scale {
+		cfg = config.Scale56()
+	}
+	runner, err := exp.NewRunner(o.workers,
+		exp.WithSessionOptions(core.WithGPU(cfg), core.WithWindow(o.window)),
+		exp.WithFaultPolicy(exp.FaultPolicy{
+			CaseTimeout: o.jobTimeout,
+			Retry: retry.Policy{
+				MaxAttempts: o.retries + 1,
+				BaseDelay:   100 * time.Millisecond,
+				Seed:        workloads.Seed,
+			},
+		}))
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Runner:      runner,
+		Scheme:      scheme,
+		MaxMix:      o.mix,
+		QueueDepth:  o.queue,
+		JournalPath: o.journalPath,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "qosd: serving on %s (scheme %s, %d workers, mix %d)\n",
+			o.addr, scheme.Name(), runner.Workers(), o.mix)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "qosd: draining (queued jobs still get verdicts)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainWait)
+	defer cancel()
+	derr := srv.Shutdown(drainCtx)
+	herr := hs.Shutdown(drainCtx)
+	if derr != nil {
+		return fmt.Errorf("drain: %w", derr)
+	}
+	if herr != nil && !errors.Is(herr, http.ErrServerClosed) {
+		return herr
+	}
+	fmt.Fprintln(os.Stderr, "qosd: drained")
+	return nil
+}

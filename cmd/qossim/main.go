@@ -41,6 +41,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/retry"
 	"repro/internal/trace"
+	"repro/internal/workloads"
 )
 
 // options carries the parsed command line.
@@ -120,28 +121,29 @@ func openJournal(o options) (*journal.Journal, error) {
 // across drivers so pair sweeps memoized per scheme (and the isolated-IPC
 // baselines) are reused by every figure that needs them.
 func newStudy(cfg config.GPU, o options, jnl *journal.Journal) (exp.Study, error) {
-	r, err := exp.NewRunner(o.workers, core.WithGPU(cfg), core.WithWindow(o.window))
-	if err != nil {
-		return exp.Study{}, err
+	ropts := []exp.Option{
+		exp.WithSessionOptions(core.WithGPU(cfg), core.WithWindow(o.window)),
+		exp.WithFaultPolicy(exp.FaultPolicy{
+			FailFast:    o.failFast,
+			CaseTimeout: o.caseTimeout,
+			Journal:     jnl,
+			Retry: retry.Policy{
+				MaxAttempts: o.retries + 1,
+				BaseDelay:   100 * time.Millisecond,
+				Seed:        workloads.Seed,
+			},
+		}),
 	}
-	r.SetFaultPolicy(exp.FaultPolicy{
-		FailFast:    o.failFast,
-		CaseTimeout: o.caseTimeout,
-		Journal:     jnl,
-		Retry: retry.Policy{
-			MaxAttempts: o.retries + 1,
-			BaseDelay:   100 * time.Millisecond,
-			Seed:        r.Session().Seed(),
-		},
-	})
 	if o.traceDir != "" {
 		f, err := trace.ParseFormat(o.traceFmt)
 		if err != nil {
 			return exp.Study{}, err
 		}
-		if err := r.SetTraceDir(o.traceDir, f); err != nil {
-			return exp.Study{}, err
-		}
+		ropts = append(ropts, exp.WithTraceDir(o.traceDir, f))
+	}
+	r, err := exp.NewRunner(o.workers, ropts...)
+	if err != nil {
+		return exp.Study{}, err
 	}
 	var st exp.Study
 	if o.full {

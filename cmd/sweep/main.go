@@ -197,10 +197,6 @@ func run(ctx context.Context, o options) error {
 	if o.scale {
 		cfg = config.Scale56()
 	}
-	runner, err := exp.NewRunner(o.workers, core.WithGPU(cfg), core.WithWindow(o.window))
-	if err != nil {
-		return err
-	}
 	jnl, err := openJournal(o, cfg)
 	if err != nil {
 		return err
@@ -208,12 +204,15 @@ func run(ctx context.Context, o options) error {
 	if jnl != nil {
 		defer jnl.Close()
 	}
-	runner.SetFaultPolicy(faultPolicy(o, jnl, runner.Session().Seed()))
 	traceFmtVal, err := trace.ParseFormat(o.traceFmt)
 	if err != nil {
 		return err
 	}
-	if err := runner.SetTraceDir(o.traceDir, traceFmtVal); err != nil {
+	runner, err := exp.NewRunner(o.workers,
+		exp.WithSessionOptions(core.WithGPU(cfg), core.WithWindow(o.window)),
+		exp.WithFaultPolicy(faultPolicy(o, jnl, workloads.Seed)),
+		exp.WithTraceDir(o.traceDir, traceFmtVal))
+	if err != nil {
 		return err
 	}
 	if o.subsample < 1 {

@@ -147,7 +147,7 @@ func TestIntegrationFigureDriversSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")
 	}
-	r, err := exp.NewRunner(0, core.WithWindow(40_000))
+	r, err := exp.NewRunner(0, exp.WithSessionOptions(core.WithWindow(40_000)))
 	if err != nil {
 		t.Fatal(err)
 	}

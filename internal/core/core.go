@@ -183,10 +183,12 @@ func (ks KernelSpec) name() string {
 	return "?"
 }
 
-// Config configures a Session built via the deprecated
-// NewSessionFromConfig constructor. New code should pass functional
-// options (WithGPU, WithWindow, WithQoSOptions, WithPowerCosts,
-// WithSeed) to NewSession instead.
+// Config is a Session's resolved configuration, assembled by the
+// functional options (WithGPU, WithWindow, WithQoSOptions,
+// WithPowerCosts). Sessions are constructed with NewSession(opts...);
+// Config exists as a value type so Session.Config() can expose the
+// resolved settings for hashing (checkpoint journals, the qosd job log)
+// and inspection.
 type Config struct {
 	// GPU is the device configuration; the zero value means
 	// config.Base() (the paper's Table 1).

@@ -58,37 +58,26 @@ func TestNewSessionRejectsShortWindow(t *testing.T) {
 	}
 }
 
-// TestNewSessionFromConfig checks the deprecated constructor builds the
-// same session the options would.
-func TestNewSessionFromConfig(t *testing.T) {
+// TestSessionConfigExposesResolvedSettings checks Session.Config returns
+// the post-validation configuration (the value the checkpoint journal
+// and the qosd job log hash), including applied defaults.
+func TestSessionConfigExposesResolvedSettings(t *testing.T) {
 	cfg := config.Base()
 	cfg.NumSMs = 4
-	old, err := NewSessionFromConfig(Config{GPU: cfg, WindowCycles: 40_000})
+	s, err := NewSession(WithGPU(cfg), WithWindow(40_000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := NewSession(WithGPU(cfg), WithWindow(40_000))
+	got := s.Config()
+	if got.GPU != cfg || got.WindowCycles != 40_000 {
+		t.Fatalf("resolved config diverged: %+v", got)
+	}
+	def, err := NewSession()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if old.GPUConfig() != opt.GPUConfig() || old.Window() != opt.Window() {
-		t.Fatal("Config and options constructors disagree")
-	}
-	ctx := context.Background()
-	specs := []KernelSpec{
-		{Profile: customProfile("a"), GoalFrac: 0.5},
-		{Profile: customProfile("b")},
-	}
-	a, err := old.Run(ctx, specs, SchemeRollover)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := opt.Run(ctx, specs, SchemeRollover)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Kernels[0].IPC != b.Kernels[0].IPC {
-		t.Fatal("Config-built session diverged from options-built session")
+	if def.Config().WindowCycles != 200_000 || def.Config().GPU.NumSMs != 16 {
+		t.Fatalf("defaults not resolved into Config: %+v", def.Config())
 	}
 }
 

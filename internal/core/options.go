@@ -70,20 +70,6 @@ func WithFaultInjector(fi FaultInjector) Option {
 	return func(s *settings) { s.faults = fi }
 }
 
-// withConfig seeds the option state from a legacy Config value.
-func withConfig(cfg Config) Option {
-	return func(s *settings) { s.cfg = cfg }
-}
-
-// NewSessionFromConfig builds a Session from the legacy Config struct.
-//
-// Deprecated: use NewSession with functional options (WithGPU,
-// WithWindow, WithQoSOptions, WithPowerCosts, WithSeed). This constructor
-// is kept for one release to ease migration and will be removed.
-func NewSessionFromConfig(cfg Config) (*Session, error) {
-	return NewSession(withConfig(cfg))
-}
-
 // defaultSettings returns the option state before user options apply.
 func defaultSettings() settings {
 	return settings{seed: workloads.Seed}

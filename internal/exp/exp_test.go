@@ -109,7 +109,7 @@ func TestReachByQoSKernel(t *testing.T) {
 }
 
 func TestStudyReduction(t *testing.T) {
-	r, err := NewRunner(1, core.WithWindow(40_000))
+	r, err := NewRunner(1, WithSessionOptions(core.WithWindow(40_000)))
 	if err != nil {
 		t.Fatal(err)
 	}

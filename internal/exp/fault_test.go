@@ -17,11 +17,13 @@ import (
 
 // faultRunner builds a small-device runner whose sessions carry the given
 // injector, sized for CI like testRunner.
-func faultRunner(t *testing.T, workers int, fi core.FaultInjector, extra ...core.Option) *Runner {
+func faultRunner(t *testing.T, workers int, fi core.FaultInjector, ropts ...Option) *Runner {
 	t.Helper()
 	cfg := config.Base()
 	cfg.NumSMs = 4
-	opts := append([]core.Option{core.WithGPU(cfg), core.WithWindow(30_000), core.WithFaultInjector(fi)}, extra...)
+	opts := append([]Option{
+		WithSessionOptions(core.WithGPU(cfg), core.WithWindow(30_000), core.WithFaultInjector(fi)),
+	}, ropts...)
 	r, err := NewRunner(workers, opts...)
 	if err != nil {
 		t.Fatal(err)
@@ -103,8 +105,8 @@ func TestSweepTransientRetry(t *testing.T) {
 		0: {{Err: transient}},
 		2: {{Panic: true}},
 	})
-	r := faultRunner(t, 2, faults)
-	r.SetFaultPolicy(FaultPolicy{Retry: retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7}})
+	r := faultRunner(t, 2, faults,
+		WithFaultPolicy(FaultPolicy{Retry: retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7}}))
 	out, err := r.PairSweep(context.Background(), faultPairs, goals, core.SchemeRollover, nil)
 	if err != nil {
 		t.Fatalf("sweep failed despite retry budget: %v", err)
@@ -134,11 +136,11 @@ func TestSweepCaseTimeout(t *testing.T) {
 	faults := NewScriptedFaults(map[int][]FaultSpec{
 		1: {{Delay: 10 * time.Minute}, {Delay: 10 * time.Minute}},
 	})
-	r := faultRunner(t, 2, faults)
 	// The deadline must be generous enough that healthy cases (fast, but
 	// ~10x slower under -race) never trip it, while still reaping the
 	// 10-minute wedge quickly.
-	r.SetFaultPolicy(FaultPolicy{CaseTimeout: 5 * time.Second, Retry: retry.Policy{MaxAttempts: 2, Seed: 3}})
+	r := faultRunner(t, 2, faults,
+		WithFaultPolicy(FaultPolicy{CaseTimeout: 5 * time.Second, Retry: retry.Policy{MaxAttempts: 2, Seed: 3}}))
 	start := time.Now()
 	_, err := r.PairSweep(context.Background(), faultPairs, goals, core.SchemeRollover, nil)
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -165,8 +167,7 @@ func TestSweepFailFast(t *testing.T) {
 	goals := []float64{0.5}
 	boom := errors.New("boom")
 	faults := NewScriptedFaults(map[int][]FaultSpec{2: {{Err: boom}, {Err: boom}}})
-	r := faultRunner(t, 2, faults)
-	r.SetFaultPolicy(FaultPolicy{FailFast: true})
+	r := faultRunner(t, 2, faults, WithFaultPolicy(FaultPolicy{FailFast: true}))
 	_, err := r.PairSweep(context.Background(), faultPairs, goals, core.SchemeRollover, nil)
 	var ce *CaseError
 	if !errors.As(err, &ce) {
@@ -210,8 +211,7 @@ func TestSweepJournalResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	r1 := testRunner(t, 2)
-	r1.SetFaultPolicy(FaultPolicy{Journal: j})
+	r1 := testRunner(t, 2, WithFaultPolicy(FaultPolicy{Journal: j}))
 	_, err = r1.PairSweep(ctx, pairs, goals, scheme, func(p Progress) {
 		if p.Done >= 2 {
 			cancel()
@@ -232,8 +232,7 @@ func TestSweepJournalResume(t *testing.T) {
 	if j2.Len() < 2 {
 		t.Fatalf("journal holds %d cases after crash, want >= 2", j2.Len())
 	}
-	r2 := testRunner(t, 3)
-	r2.SetFaultPolicy(FaultPolicy{Journal: j2})
+	r2 := testRunner(t, 3, WithFaultPolicy(FaultPolicy{Journal: j2}))
 	got, err := r2.PairSweep(context.Background(), pairs, goals, scheme, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -249,15 +248,16 @@ func TestSweepJournalResume(t *testing.T) {
 	// A journal written under a different session config must not be
 	// spliced in: a runner with another window derives a different stage
 	// key and re-runs everything.
-	r3, err := NewRunner(2, core.WithGPU(func() config.GPU {
-		c := config.Base()
-		c.NumSMs = 4
-		return c
-	}()), core.WithWindow(20_000))
+	r3, err := NewRunner(2,
+		WithSessionOptions(core.WithGPU(func() config.GPU {
+			c := config.Base()
+			c.NumSMs = 4
+			return c
+		}()), core.WithWindow(20_000)),
+		WithFaultPolicy(FaultPolicy{Journal: j2}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r3.SetFaultPolicy(FaultPolicy{Journal: j2})
 	if _, err := r3.PairSweep(context.Background(), pairs, goals, scheme, nil); err != nil {
 		t.Fatal(err)
 	}

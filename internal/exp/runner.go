@@ -98,9 +98,13 @@ type Runner struct {
 	workers  int
 	opts     []core.Option
 	sessions []*core.Session
-	fault    FaultPolicy
+	// slots is the session pool: sweeps and Do borrow sessions from it,
+	// so a Runner shared by a daemon can interleave one-off evaluations
+	// with sweeps without oversubscribing the worker budget.
+	slots chan *core.Session
+	fault FaultPolicy
 
-	// Per-case trace output (SetTraceDir). Every traced case gets its
+	// Per-case trace output (WithTraceDir). Every traced case gets its
 	// own trace.Tracer — tracers are unsynchronized by design, so
 	// sharing one across workers would race.
 	traceDir    string
@@ -111,16 +115,69 @@ type Runner struct {
 	reports []*SweepReport
 }
 
+// runnerSettings collects everything a runner Option can configure
+// before validation.
+type runnerSettings struct {
+	session     []core.Option
+	fault       FaultPolicy
+	traceDir    string
+	traceFormat trace.Format
+}
+
+// Option configures a Runner at construction (see NewRunner). A Runner
+// is immutable once built — the qosd daemon shares one across request
+// goroutines — so everything the deprecated setters used to mutate is
+// now an option.
+type Option func(*runnerSettings)
+
+// WithSessionOptions appends core session options applied identically to
+// every worker session (device, window, QoS tuning, seed). Passing
+// core.WithIsolatedCache is redundant — the runner always installs a
+// shared singleflight cache after these options, so it wins.
+func WithSessionOptions(opts ...core.Option) Option {
+	return func(s *runnerSettings) { s.session = append(s.session, opts...) }
+}
+
+// WithFaultPolicy installs the fault policy governing sweeps and Do
+// calls: per-case deadlines, retries, panic containment mode and the
+// checkpoint journal.
+func WithFaultPolicy(p FaultPolicy) Option {
+	return func(s *runnerSettings) { s.fault = p }
+}
+
+// WithTraceDir enables per-case event tracing: every case runs with its
+// own tracer and writes one trace file into dir, named by its grid
+// coordinates (sweep kind, case index, workloads, goal, scheme). An
+// empty dir disables tracing. NewRunner creates the directory.
+func WithTraceDir(dir string, f trace.Format) Option {
+	return func(s *runnerSettings) { s.traceDir, s.traceFormat = dir, f }
+}
+
 // NewRunner builds a Runner with the given worker count (0 or negative
-// means runtime.GOMAXPROCS(0)). The options configure every worker
-// session identically; passing core.WithIsolatedCache here is redundant —
-// the runner always installs a shared cache (after the caller's options,
-// so it wins).
-func NewRunner(workers int, opts ...core.Option) (*Runner, error) {
+// means runtime.GOMAXPROCS(0)), configured by runner options
+// (WithSessionOptions, WithFaultPolicy, WithTraceDir). All worker
+// sessions share one singleflight isolated-IPC cache.
+func NewRunner(workers int, opts ...Option) (*Runner, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	r := &Runner{workers: workers, opts: append([]core.Option(nil), opts...)}
+	var st runnerSettings
+	for _, o := range opts {
+		o(&st)
+	}
+	if st.traceDir != "" {
+		if err := os.MkdirAll(st.traceDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	r := &Runner{
+		workers:     workers,
+		opts:        append([]core.Option(nil), st.session...),
+		slots:       make(chan *core.Session, workers),
+		fault:       st.fault,
+		traceDir:    st.traceDir,
+		traceFormat: st.traceFormat,
+	}
 	cache := core.NewIsolatedCache()
 	withCache := append(append([]core.Option(nil), r.opts...), core.WithIsolatedCache(cache))
 	for i := 0; i < workers; i++ {
@@ -129,30 +186,28 @@ func NewRunner(workers int, opts ...core.Option) (*Runner, error) {
 			return nil, err
 		}
 		r.sessions = append(r.sessions, s)
+		r.slots <- s
 	}
 	return r, nil
 }
 
 // With derives a Runner with the same worker count, fault policy and base
-// options plus extra ones (later options override earlier, so e.g.
-// core.WithQoSOptions replaces the base tuning). The derived runner gets
-// a fresh isolated cache: changed options may change baselines.
+// session options plus extra ones (later options override earlier, so
+// e.g. core.WithQoSOptions replaces the base tuning). The derived runner
+// gets a fresh isolated cache: changed options may change baselines.
 func (r *Runner) With(extra ...core.Option) (*Runner, error) {
-	opts := append(append([]core.Option(nil), r.opts...), extra...)
-	d, err := NewRunner(r.workers, opts...)
-	if err != nil {
-		return nil, err
-	}
-	d.fault = r.fault
-	d.traceDir, d.traceFormat = r.traceDir, r.traceFormat
-	return d, nil
+	session := append(append([]core.Option(nil), r.opts...), extra...)
+	return NewRunner(r.workers,
+		WithSessionOptions(session...),
+		WithFaultPolicy(r.fault),
+		WithTraceDir(r.traceDir, r.traceFormat))
 }
 
-// SetTraceDir enables per-case event tracing for subsequent sweeps:
-// every case runs with its own tracer and writes one trace file into dir,
-// named by its grid coordinates (sweep kind, case index, workloads, goal,
-// scheme). An empty dir disables tracing. Call before sweeping, not
-// concurrently with one.
+// SetTraceDir enables per-case event tracing for subsequent sweeps.
+//
+// Deprecated: pass WithTraceDir to NewRunner instead, which keeps the
+// Runner immutable after construction. This wrapper survives one release
+// for migration; it must not be called concurrently with a sweep or Do.
 func (r *Runner) SetTraceDir(dir string, f trace.Format) error {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -183,9 +238,50 @@ func (r *Runner) runCase(ctx context.Context, s *core.Session, name string, spec
 	return res, nil
 }
 
-// SetFaultPolicy installs the fault policy for subsequent sweeps. Call it
-// before sweeping, not concurrently with one.
+// SetFaultPolicy installs the fault policy for subsequent sweeps.
+//
+// Deprecated: pass WithFaultPolicy to NewRunner instead, which keeps the
+// Runner immutable after construction. This wrapper survives one release
+// for migration; it must not be called concurrently with a sweep or Do.
 func (r *Runner) SetFaultPolicy(p FaultPolicy) { r.fault = p }
+
+// Do borrows one worker session from the pool and runs fn under the same
+// fault boundary a sweep case gets: panics are converted to *PanicError,
+// the fault policy's per-case deadline bounds the call, and its retry
+// budget re-runs transient failures (stream disambiguates the retry
+// jitter sequence between concurrent callers). Do blocks while every
+// worker session is busy — this is the backpressure a serving layer
+// (cmd/qosd) relies on — and returns ctx's error if it is canceled
+// before a session frees up.
+func (r *Runner) Do(ctx context.Context, stream uint64, fn func(ctx context.Context, s *core.Session) error) error {
+	var s *core.Session
+	select {
+	case s = <-r.slots:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { r.slots <- s }()
+	fp := r.fault
+	return fp.Retry.Do(ctx, stream, func(int) error {
+		return doShielded(ctx, s, fp.CaseTimeout, fn)
+	})
+}
+
+// doShielded is runShielded without the sweep-case index tagging: the
+// fault boundary for one-off Do work.
+func doShielded(ctx context.Context, s *core.Session, timeout time.Duration, fn func(context.Context, *core.Session) error) (err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, s)
+}
 
 // FaultPolicyInEffect returns the installed fault policy.
 func (r *Runner) FaultPolicyInEffect() FaultPolicy { return r.fault }
@@ -306,10 +402,19 @@ func (r *Runner) sweep(parent context.Context, stage string, total int, skip map
 		mu.Unlock()
 	}
 	for w := 0; w < workers; w++ {
-		s := r.sessions[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Borrow a session from the shared pool (rather than pinning
+			// sessions to workers) so sweeps and concurrent Do callers
+			// split the same worker budget.
+			var s *core.Session
+			select {
+			case s = <-r.slots:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { r.slots <- s }()
 			for i := range jobs {
 				if err := ctx.Err(); err != nil {
 					fail(err)

@@ -5,18 +5,22 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/retry"
 	"repro/internal/workloads"
 )
 
-// testRunner builds a small-device runner sized for CI.
-func testRunner(t *testing.T, workers int) *Runner {
+// testRunner builds a small-device runner sized for CI; extra runner
+// options (WithFaultPolicy, WithTraceDir) apply after the base ones.
+func testRunner(t *testing.T, workers int, ropts ...Option) *Runner {
 	t.Helper()
 	cfg := config.Base()
 	cfg.NumSMs = 4
-	r, err := NewRunner(workers, core.WithGPU(cfg), core.WithWindow(30_000))
+	opts := append([]Option{WithSessionOptions(core.WithGPU(cfg), core.WithWindow(30_000))}, ropts...)
+	r, err := NewRunner(workers, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,6 +212,67 @@ func TestRunnerWith(t *testing.T) {
 	if r.GPUConfig().NumSMs != 4 {
 		t.Fatal("derivation mutated the base runner")
 	}
+}
+
+// TestRunnerDo checks the one-off evaluation path the qosd daemon uses:
+// Do borrows pool sessions (blocking when all are busy), isolates panics
+// as *PanicError, and honors the fault policy's retry budget.
+func TestRunnerDo(t *testing.T) {
+	r := testRunner(t, 2, WithFaultPolicy(FaultPolicy{
+		Retry: retry.Policy{MaxAttempts: 2, Seed: 11},
+	}))
+	ctx := context.Background()
+
+	// Plain success sees a usable session.
+	if err := r.Do(ctx, 0, func(_ context.Context, s *core.Session) error {
+		if s.GPUConfig().NumSMs != 4 {
+			t.Error("Do handed out a session with the wrong config")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A panic surfaces as a *PanicError value, not a crash.
+	err := r.Do(ctx, 1, func(context.Context, *core.Session) error {
+		panic("boom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+
+	// A transient failure is retried within the policy's budget.
+	attempts := 0
+	if err := r.Do(ctx, 2, func(context.Context, *core.Session) error {
+		attempts++
+		if attempts == 1 {
+			return errors.New("transient")
+		}
+		return nil
+	}); err != nil || attempts != 2 {
+		t.Fatalf("retry path: err=%v attempts=%d", err, attempts)
+	}
+
+	// With every slot held, Do must block until ctx cancels.
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	for i := 0; i < r.Workers(); i++ {
+		go r.Do(ctx, 3, func(context.Context, *core.Session) error {
+			hold <- struct{}{}
+			<-release
+			return nil
+		})
+	}
+	for i := 0; i < r.Workers(); i++ {
+		<-hold
+	}
+	shortCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if err := r.Do(shortCtx, 4, func(context.Context, *core.Session) error { return nil }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("saturated pool: err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
 }
 
 // TestRunnerSharesIsolatedCache checks all worker sessions see each

@@ -21,11 +21,10 @@ func TestPairSweepWritesPerCaseTraces(t *testing.T) {
 		t.Skip("simulation")
 	}
 	dir := t.TempDir()
-	r, err := NewRunner(4, core.WithWindow(20_000))
+	r, err := NewRunner(4,
+		WithSessionOptions(core.WithWindow(20_000)),
+		WithTraceDir(dir, trace.FormatJSONL))
 	if err != nil {
-		t.Fatal(err)
-	}
-	if err := r.SetTraceDir(dir, trace.FormatJSONL); err != nil {
 		t.Fatal(err)
 	}
 	pairs := []workloads.Pair{
@@ -61,16 +60,13 @@ func TestPairSweepWritesPerCaseTraces(t *testing.T) {
 	}
 }
 
-// TestSetTraceDirPropagatesThroughWith checks that a derived runner (the
+// TestTraceDirPropagatesThroughWith checks that a derived runner (the
 // sweep engine clones runners via With for config overrides) keeps the
 // trace destination.
-func TestSetTraceDirPropagatesThroughWith(t *testing.T) {
+func TestTraceDirPropagatesThroughWith(t *testing.T) {
 	dir := t.TempDir()
-	r, err := NewRunner(1)
+	r, err := NewRunner(1, WithTraceDir(dir, trace.FormatChrome))
 	if err != nil {
-		t.Fatal(err)
-	}
-	if err := r.SetTraceDir(dir, trace.FormatChrome); err != nil {
 		t.Fatal(err)
 	}
 	d, err := r.With(core.WithWindow(30_000))
@@ -79,5 +75,30 @@ func TestSetTraceDirPropagatesThroughWith(t *testing.T) {
 	}
 	if d.traceDir != dir || d.traceFormat != trace.FormatChrome {
 		t.Fatal("With dropped the trace configuration")
+	}
+}
+
+// TestDeprecatedSettersStillWork keeps the migration wrappers honest for
+// the release they survive: SetTraceDir and SetFaultPolicy must behave
+// exactly like their option counterparts.
+func TestDeprecatedSettersStillWork(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	r, err := NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetTraceDir(dir, trace.FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if r.traceDir != dir || r.traceFormat != trace.FormatJSONL {
+		t.Fatal("SetTraceDir did not install the trace configuration")
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("SetTraceDir did not create the directory: %v", err)
+	}
+	fp := FaultPolicy{FailFast: true}
+	r.SetFaultPolicy(fp)
+	if got := r.FaultPolicyInEffect(); !got.FailFast {
+		t.Fatal("SetFaultPolicy did not install the policy")
 	}
 }

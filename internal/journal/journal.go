@@ -33,19 +33,26 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/schema"
 )
 
-// Version is the on-disk schema version. Bump it when the line layout
-// changes; Open rejects journals written by other versions.
-const Version = 1
+// Version is the on-disk schema version, shared with the trace JSONL
+// exporter and the qosd v1 API via internal/schema. Bump schema.Version
+// when the line layout changes; Open rejects journals written by other
+// versions.
+const Version = schema.Version
 
 // Sentinel errors callers can test with errors.Is.
 var (
 	// ErrConfigMismatch marks a journal written by a study with a
 	// different configuration hash.
 	ErrConfigMismatch = errors.New("journal: config hash mismatch (journal belongs to a different study)")
-	// ErrVersion marks a journal written by an unsupported schema version.
-	ErrVersion = errors.New("journal: unsupported schema version")
+	// ErrVersion marks a journal written by an unsupported schema
+	// version. It wraps schema.ErrVersion, so both
+	// errors.Is(err, journal.ErrVersion) and
+	// errors.Is(err, schema.ErrVersion) hold.
+	ErrVersion = fmt.Errorf("journal: unsupported schema version: %w", schema.ErrVersion)
 	// ErrNoHeader marks a journal whose first line is missing or corrupt.
 	ErrNoHeader = errors.New("journal: missing or corrupt header")
 	// ErrClosed is returned by Append after Close.

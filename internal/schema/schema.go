@@ -1,0 +1,33 @@
+// Package schema pins the single on-disk/on-wire schema version shared
+// by every serialized artifact the system produces: the checkpoint
+// journal's header (internal/journal), the JSONL trace export's header
+// line (internal/trace), and the `/v1` API responses of the qosd
+// admission daemon (internal/server). One constant means one bump
+// changes them together, and every decoder can reject artifacts written
+// by a different release with an errors.Is-able sentinel instead of
+// silently misparsing them.
+package schema
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Version is the current schema version. Bump it when any serialized
+// layout changes: journal line shape, trace JSONL line shape, or the v1
+// API response envelope.
+const Version = 1
+
+// ErrVersion marks an artifact written under a different schema version.
+// The journal, trace and server decoders all wrap it, so callers can
+// test any of their errors with errors.Is(err, schema.ErrVersion).
+var ErrVersion = errors.New("schema: version mismatch")
+
+// Check returns nil when got matches Version and otherwise an error
+// wrapping ErrVersion that names both sides.
+func Check(got int) error {
+	if got == Version {
+		return nil
+	}
+	return fmt.Errorf("%w: artifact v%d, this build speaks v%d", ErrVersion, got, Version)
+}

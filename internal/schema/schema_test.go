@@ -1,0 +1,35 @@
+package schema_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/schema"
+)
+
+// TestCheck pins the shared version gate: the current version passes,
+// every other version fails with the ErrVersion sentinel.
+func TestCheck(t *testing.T) {
+	if err := schema.Check(schema.Version); err != nil {
+		t.Fatalf("current version rejected: %v", err)
+	}
+	for _, v := range []int{0, -1, schema.Version + 1, schema.Version + 100} {
+		if err := schema.Check(v); !errors.Is(err, schema.ErrVersion) {
+			t.Fatalf("Check(%d) = %v, want ErrVersion", v, err)
+		}
+	}
+}
+
+// TestJournalSharesSchemaVersion guards the consolidation: the journal's
+// on-disk version is the shared constant, and its version error is
+// testable through both sentinels.
+func TestJournalSharesSchemaVersion(t *testing.T) {
+	if journal.Version != schema.Version {
+		t.Fatalf("journal.Version = %d, schema.Version = %d; they must be one constant",
+			journal.Version, schema.Version)
+	}
+	if !errors.Is(journal.ErrVersion, schema.ErrVersion) {
+		t.Fatal("journal.ErrVersion does not wrap schema.ErrVersion")
+	}
+}

@@ -1,0 +1,360 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// The admission controller. Decisions are made by ONE goroutine
+// (decisionLoop) in strict submission order: given the same decision log
+// (candidate + mix snapshot per entry), a serial replay of the what-if
+// runs reproduces every verdict bit for bit, because the simulator is
+// deterministic under a fixed seed. The soak test exploits exactly this.
+
+// MixEntry is one kernel of an admission snapshot — enough to rebuild
+// its core.KernelSpec for replay or journal recovery.
+type MixEntry struct {
+	JobID    string  `json:"job_id"`
+	Workload string  `json:"workload"`
+	GoalFrac float64 `json:"goal_frac,omitempty"`
+	GoalIPC  float64 `json:"goal_ipc,omitempty"`
+}
+
+// Spec rebuilds the kernel spec the entry was evaluated with.
+func (m MixEntry) Spec() core.KernelSpec {
+	return core.KernelSpec{Workload: m.Workload, GoalFrac: m.GoalFrac, GoalIPC: m.GoalIPC}
+}
+
+func mixEntry(j *job) MixEntry {
+	return MixEntry{JobID: j.id, Workload: j.spec.Workload, GoalFrac: j.spec.GoalFrac, GoalIPC: j.spec.GoalIPC}
+}
+
+// Decision is one entry of the decision log — the daemon's crash-safe
+// record of every admission verdict and release, journaled under stage
+// "jobs" keyed by Index. Kind "decision" entries carry the full what-if
+// evidence; Kind "release" entries free the job's mix slot.
+type Decision struct {
+	Index     int        `json:"index"`
+	Kind      string     `json:"kind"` // "decision" | "release"
+	JobID     string     `json:"job_id"`
+	JobSeq    uint64     `json:"job_seq"`
+	Name      string     `json:"name,omitempty"`
+	Candidate MixEntry   `json:"candidate"`
+	Mix       []MixEntry `json:"mix,omitempty"`
+	Admitted  bool       `json:"admitted,omitempty"`
+	Verdict   *Verdict   `json:"verdict,omitempty"`
+}
+
+// decisionLoop is the admission controller: it serializes every decision
+// so verdicts depend only on submission order, never on goroutine
+// scheduling. It exits when the submit queue is closed (drain) and every
+// queued job has been decided.
+func (s *Server) decisionLoop() {
+	defer close(s.loopDone)
+	for j := range s.queue {
+		if s.gate != nil {
+			// Test hook: hold the next decision until the test releases it,
+			// making queue-overflow (429) behavior deterministic.
+			<-s.gate
+		}
+		if err := s.waitSlot(); err != nil {
+			j.finish(JobFailed, nil, err)
+			s.count("jobs_failed", 1)
+			continue
+		}
+		s.evaluate(j)
+	}
+}
+
+// waitSlot blocks until the admitted mix has room for one more kernel,
+// consuming release signals. A forced shutdown aborts the wait.
+func (s *Server) waitSlot() error {
+	for {
+		s.mixMu.Lock()
+		free := len(s.mix) < s.maxMix
+		s.mixMu.Unlock()
+		if free {
+			return nil
+		}
+		select {
+		case <-s.slotFree:
+		case <-s.baseCtx.Done():
+			return fmt.Errorf("%w: no mix slot freed before shutdown", ErrDraining)
+		}
+	}
+}
+
+// evaluate runs the what-if co-run (admitted mix + candidate) on a
+// pooled worker session and turns the result into an admission verdict.
+func (s *Server) evaluate(j *job) {
+	j.setState(JobEvaluating)
+	s.mixMu.Lock()
+	mix := append([]*job(nil), s.mix...)
+	s.mixMu.Unlock()
+
+	specs := make([]core.KernelSpec, 0, len(mix)+1)
+	entries := make([]MixEntry, 0, len(mix))
+	for _, m := range mix {
+		specs = append(specs, m.spec)
+		entries = append(entries, mixEntry(m))
+	}
+	specs = append(specs, j.spec)
+
+	// A hypothetical mix with no QoS kernel has no contract to protect;
+	// the QoS manager refuses goal-less co-runs, so the what-if runs
+	// under unmanaged sharing and admits vacuously (AllReached is true
+	// with zero QoS kernels) — still with real throughput evidence.
+	scheme := s.scheme
+	hasQoS := false
+	for _, sp := range specs {
+		if sp.GoalFrac > 0 || sp.GoalIPC > 0 {
+			hasQoS = true
+			break
+		}
+	}
+	if !hasQoS {
+		scheme = core.SchemeNone
+	}
+
+	var res *core.Result
+	tr := trace.New(1 << 12)
+	err := s.runner.Do(s.baseCtx, j.seq, func(ctx context.Context, sess *core.Session) error {
+		r, rerr := sess.RunTraced(ctx, specs, scheme, tr)
+		if rerr != nil {
+			return rerr
+		}
+		res = r
+		return nil
+	})
+	s.count("evaluations", 1)
+	if err != nil {
+		j.finish(JobFailed, nil, err)
+		s.count("jobs_failed", 1)
+		s.record(Decision{Kind: "decision", JobID: j.id, JobSeq: j.seq, Name: j.name,
+			Candidate: mixEntry(j), Mix: entries})
+		return
+	}
+	s.absorbRun(tr, res)
+	s.forwardTrace(j, tr, len(specs)-1)
+
+	v := s.verdict(j, mix, entries, res)
+	s.record(Decision{Kind: "decision", JobID: j.id, JobSeq: j.seq, Name: j.name,
+		Candidate: mixEntry(j), Mix: entries, Admitted: v.Admitted, Verdict: v})
+	if v.Admitted {
+		s.mixMu.Lock()
+		s.mix = append(s.mix, j)
+		n := len(s.mix)
+		s.mixMu.Unlock()
+		s.gauge("mix_size", float64(n))
+		s.count("jobs_admitted", 1)
+		j.finish(JobAdmitted, v, nil)
+		return
+	}
+	s.count("jobs_rejected", 1)
+	j.finish(JobRejected, v, fmt.Errorf("%w: %s", ErrAdmissionRejected, v.Reason))
+}
+
+// verdict scores the what-if result. The decision rule is the paper's
+// QoS contract applied transitively: admit if and only if every QoS
+// kernel of the hypothetical mix — the candidate and all incumbents —
+// reaches its goal (Result.AllReached).
+func (s *Server) verdict(j *job, mix []*job, entries []MixEntry, res *core.Result) *Verdict {
+	outcome := func(kr core.KernelResult, jobID string) KernelOutcome {
+		return KernelOutcome{
+			JobID:          jobID,
+			Workload:       kr.Name,
+			IsQoS:          kr.IsQoS,
+			GoalIPC:        kr.GoalIPC,
+			IPC:            kr.IPC,
+			IsolatedIPC:    kr.IsolatedIPC,
+			Reached:        kr.Reached,
+			GoalRatio:      kr.GoalRatio,
+			NormThroughput: kr.NormThroughput,
+		}
+	}
+	mixIDs := make([]string, len(entries))
+	for i, e := range entries {
+		mixIDs[i] = e.JobID
+	}
+	v := &Verdict{
+		Admitted:  res.AllReached,
+		Scheme:    res.Scheme.Name(),
+		MixBefore: mixIDs,
+		Candidate: outcome(res.Kernels[len(res.Kernels)-1], j.id),
+		Cycles:    res.Cycles,
+	}
+	for i, kr := range res.Kernels[:len(res.Kernels)-1] {
+		v.Incumbents = append(v.Incumbents, outcome(kr, mix[i].id))
+	}
+	if res.AllReached {
+		v.Reason = "all QoS goals reached in the what-if co-run"
+		return v
+	}
+	var missed []string
+	for _, o := range append(v.Incumbents, v.Candidate) {
+		if o.IsQoS && !o.Reached {
+			missed = append(missed, fmt.Sprintf("%s (%s) at %.1f%% of goal", o.JobID, o.Workload, 100*o.GoalRatio))
+		}
+	}
+	v.Reason = "QoS goal missed by " + strings.Join(missed, ", ")
+	return v
+}
+
+// release frees an admitted job's mix slot (DELETE /v1/jobs/{id}). Only
+// admitted jobs hold slots; anything else is a client error.
+func (s *Server) release(id string) (*job, error) {
+	j, err := s.store.get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	if j.state != JobAdmitted {
+		st := j.state
+		j.mu.Unlock()
+		return nil, fmt.Errorf("%w: job %s is %s, only admitted jobs hold a mix slot", ErrBadRequest, id, st)
+	}
+	j.state = JobReleased
+	j.mu.Unlock()
+
+	s.mixMu.Lock()
+	for i, m := range s.mix {
+		if m.id == id {
+			s.mix = append(s.mix[:i], s.mix[i+1:]...)
+			break
+		}
+	}
+	n := len(s.mix)
+	s.mixMu.Unlock()
+	s.gauge("mix_size", float64(n))
+	select {
+	case s.slotFree <- struct{}{}:
+	default:
+	}
+	j.emit("state", map[string]string{"state": string(JobReleased)})
+	s.count("jobs_released", 1)
+	s.record(Decision{Kind: "release", JobID: j.id, JobSeq: j.seq, Candidate: mixEntry(j)})
+	return j, nil
+}
+
+// record appends one entry to the decision log and, when a job log is
+// configured, journals it. Journal write failures must not un-decide an
+// admission that already happened; they are surfaced as a counter (and
+// the next restart simply recovers less).
+func (s *Server) record(d Decision) {
+	s.decMu.Lock()
+	d.Index = len(s.decisions)
+	s.decisions = append(s.decisions, d)
+	jnl := s.jnl
+	s.decMu.Unlock()
+	if jnl != nil {
+		if err := jnl.Append(jobStage, d.Index, d); err != nil {
+			s.count("journal_errors", 1)
+		}
+	}
+}
+
+// Decisions returns the decision log in order, including entries
+// recovered from the journal at startup.
+func (s *Server) Decisions() []Decision {
+	s.decMu.Lock()
+	defer s.decMu.Unlock()
+	return append([]Decision(nil), s.decisions...)
+}
+
+// jobStage keys the daemon's entries inside the checkpoint journal.
+const jobStage = "jobs"
+
+// recoverJournal rebuilds the admitted mix from a prior process's
+// decision log: decisions admitted and never released re-occupy their
+// slots (states, verdicts and ids included), so a restarted daemon keeps
+// honoring the QoS contracts it already accepted. Queued-but-undecided
+// jobs are not recovered — they never received a verdict.
+func (s *Server) recoverJournal() error {
+	entries := s.jnl.Completed(jobStage)
+	idxs := make([]int, 0, len(entries))
+	for i := range entries {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	admitted := make(map[string]Decision)
+	var order []string
+	for _, i := range idxs {
+		var d Decision
+		if err := json.Unmarshal(entries[i], &d); err != nil {
+			return fmt.Errorf("server: job log entry %d: %w", i, err)
+		}
+		s.decisions = append(s.decisions, d)
+		s.store.reserve(d.JobSeq)
+		switch d.Kind {
+		case "decision":
+			if d.Admitted {
+				admitted[d.JobID] = d
+				order = append(order, d.JobID)
+			}
+		case "release":
+			delete(admitted, d.JobID)
+		}
+	}
+	for _, id := range order {
+		d, ok := admitted[id]
+		if !ok {
+			continue
+		}
+		req := KernelRequest{Workload: d.Candidate.Workload, GoalFrac: d.Candidate.GoalFrac, GoalIPC: d.Candidate.GoalIPC}
+		j := newJob(d.JobSeq, d.Name, d.Candidate.Spec(), req)
+		s.store.adopt(j)
+		s.mix = append(s.mix, j)
+		j.finish(JobAdmitted, d.Verdict, nil)
+	}
+	s.gauge("mix_size", float64(len(s.mix)))
+	return nil
+}
+
+// absorbRun folds one what-if run's simulator counters into the
+// server-wide registry (sim_ prefix), so /metrics exposes cumulative
+// epoch counts etc. across all evaluations.
+func (s *Server) absorbRun(tr *trace.Tracer, res *core.Result) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	for _, c := range tr.Registry().Counters() {
+		s.reg.Counter("sim_" + c.Name()).Add(c.Value())
+	}
+	s.reg.Counter("sim_cycles").Add(res.Cycles)
+	s.reg.Counter("sim_trace_events").Add(int64(tr.Len()))
+}
+
+// maxForwardedEvents caps the epoch-level evidence forwarded onto a
+// job's SSE stream per evaluation.
+const maxForwardedEvents = 32
+
+// forwardTrace turns the candidate slot's epoch-level control decisions
+// (epoch rolls, quota grants, goal checks) into job events, so an SSE
+// client watches its kernel's QoS trajectory inside the what-if run.
+func (s *Server) forwardTrace(j *job, tr *trace.Tracer, slot int) {
+	n := 0
+	for _, ev := range tr.Events() {
+		if int(ev.Slot) != slot {
+			continue
+		}
+		switch ev.Kind {
+		case trace.KindEpochRoll, trace.KindQuotaGrant, trace.KindGoalCheck:
+		default:
+			continue
+		}
+		if n++; n > maxForwardedEvents {
+			break
+		}
+		j.emit(ev.Kind.String(), map[string]any{
+			"cycle": ev.Cycle,
+			"epoch": ev.Epoch,
+			"a":     ev.A,
+			"b":     ev.B,
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/schema"
+)
+
+// The wire types of the /v1 API. Every response body carries the shared
+// schema version (internal/schema) so clients and replay tooling can
+// reject artifacts from an incompatible build, exactly like trace JSONL
+// exports and checkpoint journals do.
+
+// KernelRequest describes the kernel a client wants admitted. Exactly
+// one goal form may be set: GoalFrac (fraction of isolated IPC, the
+// paper's sweep axis), GoalIPC (absolute thread-IPC), or Deadline
+// (application deadline translated via core.IPCGoalForDeadline). All
+// zero means a non-QoS kernel (best effort).
+type KernelRequest struct {
+	// Workload names a benchmark from internal/workloads.
+	Workload string `json:"workload"`
+	// GoalFrac is the QoS goal as a fraction of isolated IPC (0,1].
+	GoalFrac float64 `json:"goal_frac,omitempty"`
+	// GoalIPC is an absolute thread-IPC goal.
+	GoalIPC float64 `json:"goal_ipc,omitempty"`
+	// Deadline derives GoalIPC from an application-level deadline.
+	Deadline *DeadlineRequest `json:"deadline,omitempty"`
+}
+
+// DeadlineRequest is the OS-scheduler form of a QoS goal (paper Section
+// 3.2): run Instrs thread instructions within Seconds of end-to-end
+// time. When TransferBytes is set, the PCI-E transfer component
+// (core.PCIeTransferSeconds) is subtracted from the budget first.
+type DeadlineRequest struct {
+	Instrs  int64   `json:"instrs"`
+	Seconds float64 `json:"seconds"`
+	// TransferBytes, PCIeGbps and PCIeLatency describe the input
+	// transfer to subtract; Gbps defaults to 15.75 (PCIe 3.0 x16) and
+	// latency to 10us when bytes are given.
+	TransferBytes int64   `json:"transfer_bytes,omitempty"`
+	PCIeGbps      float64 `json:"pcie_gbps,omitempty"`
+	PCIeLatency   float64 `json:"pcie_latency_s,omitempty"`
+}
+
+// goalIPC resolves the deadline into the architectural IPC goal.
+func (d *DeadlineRequest) goalIPC(cfg config.GPU) (float64, error) {
+	budget := d.Seconds
+	if d.TransferBytes > 0 {
+		gbps := d.PCIeGbps
+		if gbps == 0 {
+			gbps = 15.75
+		}
+		lat := d.PCIeLatency
+		if lat == 0 {
+			lat = 10e-6
+		}
+		budget -= core.PCIeTransferSeconds(d.TransferBytes, gbps, lat)
+	}
+	if budget <= 0 {
+		return 0, fmt.Errorf("%w: deadline consumed by PCI-E transfer", ErrBadRequest)
+	}
+	return core.IPCGoalForDeadline(cfg, d.Instrs, budget)
+}
+
+// spec validates the request and lowers it to a core.KernelSpec.
+func (k *KernelRequest) spec(cfg config.GPU) (core.KernelSpec, error) {
+	if k.Workload == "" {
+		return core.KernelSpec{}, fmt.Errorf("%w: kernel.workload is required", ErrBadRequest)
+	}
+	forms := 0
+	if k.GoalFrac != 0 {
+		forms++
+	}
+	if k.GoalIPC != 0 {
+		forms++
+	}
+	if k.Deadline != nil {
+		forms++
+	}
+	if forms > 1 {
+		return core.KernelSpec{}, fmt.Errorf("%w: set at most one of goal_frac, goal_ipc, deadline", ErrBadRequest)
+	}
+	spec := core.KernelSpec{Workload: k.Workload, GoalFrac: k.GoalFrac, GoalIPC: k.GoalIPC}
+	if k.GoalFrac < 0 || k.GoalFrac > 1 {
+		return core.KernelSpec{}, fmt.Errorf("%w: goal_frac %v outside (0,1]", ErrBadRequest, k.GoalFrac)
+	}
+	if k.Deadline != nil {
+		ipc, err := k.Deadline.goalIPC(cfg)
+		if err != nil {
+			return core.KernelSpec{}, err
+		}
+		spec.GoalIPC = ipc
+	}
+	return spec, nil
+}
+
+// JobRequest is the POST /v1/jobs body.
+type JobRequest struct {
+	// Name is an optional client label echoed back in views and events.
+	Name   string        `json:"name,omitempty"`
+	Kernel KernelRequest `json:"kernel"`
+	// Scheme optionally pins the expected QoS scheme; it must match the
+	// daemon's configured scheme (mixed-scheme co-runs are meaningless).
+	Scheme string `json:"scheme,omitempty"`
+}
+
+// KernelOutcome is one kernel's result inside an admission verdict,
+// mirroring core.KernelResult for the wire.
+type KernelOutcome struct {
+	JobID          string  `json:"job_id,omitempty"`
+	Workload       string  `json:"workload"`
+	IsQoS          bool    `json:"is_qos"`
+	GoalIPC        float64 `json:"goal_ipc,omitempty"`
+	IPC            float64 `json:"ipc"`
+	IsolatedIPC    float64 `json:"isolated_ipc"`
+	Reached        bool    `json:"reached"`
+	GoalRatio      float64 `json:"goal_ratio,omitempty"`
+	NormThroughput float64 `json:"norm_throughput,omitempty"`
+}
+
+// Verdict is the admission decision with its predicted-attainment
+// evidence: the simulated what-if co-run of the admitted mix plus the
+// candidate.
+type Verdict struct {
+	Admitted bool   `json:"admitted"`
+	Reason   string `json:"reason"`
+	Scheme   string `json:"scheme"`
+	// MixBefore lists the ids of the jobs admitted when the what-if ran.
+	MixBefore  []string        `json:"mix_before"`
+	Candidate  KernelOutcome   `json:"candidate"`
+	Incumbents []KernelOutcome `json:"incumbents,omitempty"`
+	// Cycles is the simulated measurement window of the what-if run.
+	Cycles int64 `json:"cycles"`
+}
+
+// JobView is the wire form of one job.
+type JobView struct {
+	ID       string        `json:"id"`
+	Seq      uint64        `json:"seq"`
+	Name     string        `json:"name,omitempty"`
+	State    string        `json:"state"`
+	Kernel   KernelRequest `json:"kernel"`
+	GoalIPC  float64       `json:"goal_ipc,omitempty"`
+	Verdict  *Verdict      `json:"verdict,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Released bool          `json:"released,omitempty"`
+}
+
+// jobResponse wraps a single job with the schema version.
+type jobResponse struct {
+	Schema int     `json:"schema"`
+	Job    JobView `json:"job"`
+}
+
+// jobListResponse wraps the job listing.
+type jobListResponse struct {
+	Schema int       `json:"schema"`
+	Jobs   []JobView `json:"jobs"`
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Schema   int    `json:"schema"`
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	Scheme   string `json:"scheme"`
+	Workers  int    `json:"workers"`
+	MaxMix   int    `json:"max_mix"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Schema int    `json:"schema"`
+	Error  string `json:"error"`
+	Code   int    `json:"code"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// writeErr translates err through the taxonomy (httpStatus) and writes
+// the uniform error body; 429s carry a Retry-After hint.
+func writeErr(w http.ResponseWriter, err error) {
+	status := httpStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(1))
+	}
+	writeJSON(w, status, errorResponse{Schema: schema.Version, Error: err.Error(), Code: status})
+}

@@ -1,0 +1,400 @@
+// Package server exposes the QoS simulator as a long-running admission
+// control daemon (cmd/qosd). Clients submit kernels with QoS goals
+// (POST /v1/jobs); the controller runs a simulator-backed what-if co-run
+// of the currently admitted mix plus the candidate on a shared
+// exp.Runner worker pool and admits the kernel only when every QoS goal
+// of the hypothetical mix is predicted to hold — the paper's QoS
+// contract applied at admission time, before any kernel touches the
+// device. Admitted jobs occupy a bounded mix until released; decisions
+// are journaled so a restarted daemon keeps honoring contracts it
+// already accepted.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/journal"
+	"repro/internal/schema"
+	"repro/internal/trace"
+)
+
+// Config assembles a Server. Runner is the only required field: the
+// daemon borrows its worker sessions for what-if runs and inherits its
+// fault policy (per-evaluation timeout, retries).
+type Config struct {
+	// Runner supplies pooled simulator sessions (exp.NewRunner).
+	Runner *exp.Runner
+	// Scheme is the QoS scheme every evaluation runs under. Zero value
+	// (SchemeNone) is replaced by SchemeRollover, the paper's best.
+	Scheme core.Scheme
+	// MaxMix bounds the number of concurrently admitted kernels
+	// (default 3: the simulator's co-run sizes of interest).
+	MaxMix int
+	// QueueDepth bounds submissions awaiting a decision (default 16);
+	// beyond it, POST /v1/jobs returns 429.
+	QueueDepth int
+	// JournalPath, when set, enables the crash-safe job log. The file is
+	// created on first start and resumed on restart; a journal written
+	// under a different simulator configuration is refused.
+	JournalPath string
+}
+
+// Server is the admission-control daemon. Construct with New, mount
+// Handler on an http.Server, stop with Shutdown.
+type Server struct {
+	runner *exp.Runner
+	scheme core.Scheme
+	maxMix int
+
+	store    *jobStore
+	queue    chan *job
+	slotFree chan struct{}
+	// gate, when non-nil (tests only), holds the decision loop before
+	// each decision so queue states can be arranged deterministically.
+	gate chan struct{}
+
+	mixMu sync.Mutex
+	mix   []*job
+
+	decMu     sync.Mutex
+	decisions []Decision
+	jnl       *journal.Journal
+
+	statsMu sync.Mutex
+	reg     *trace.Registry
+
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	drainMu  sync.Mutex
+	draining bool
+	loopDone chan struct{}
+}
+
+// New validates the configuration, recovers the job log if one is
+// configured, and starts the decision loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("server: Config.Runner is required")
+	}
+	if cfg.Scheme == core.SchemeNone {
+		cfg.Scheme = core.SchemeRollover
+	}
+	if cfg.MaxMix <= 0 {
+		cfg.MaxMix = 3
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		runner:   cfg.Runner,
+		scheme:   cfg.Scheme,
+		maxMix:   cfg.MaxMix,
+		store:    newJobStore(),
+		queue:    make(chan *job, cfg.QueueDepth),
+		slotFree: make(chan struct{}, 1),
+		reg:      &trace.Registry{},
+		baseCtx:  ctx,
+		stop:     cancel,
+		loopDone: make(chan struct{}),
+	}
+	if cfg.JournalPath != "" {
+		if err := s.openJournal(cfg.JournalPath); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	go s.decisionLoop()
+	return s, nil
+}
+
+// openJournal opens (or creates) the job log. The header hash binds the
+// file to the exact simulator configuration and admission parameters, so
+// a daemon restarted with different settings can never resurrect
+// contracts it would now evaluate differently.
+func (s *Server) openJournal(path string) error {
+	sess := s.runner.Session()
+	hash, err := journal.Hash(struct {
+		Config core.Config
+		Seed   uint64
+		Scheme string
+		MaxMix int
+	}{sess.Config(), sess.Seed(), s.scheme.Name(), s.maxMix})
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		j, err := journal.Open(path, hash)
+		if err != nil {
+			return err
+		}
+		s.jnl = j
+		return s.recoverJournal()
+	}
+	j, err := journal.Create(path, hash)
+	if err != nil {
+		return err
+	}
+	s.jnl = j
+	return nil
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRelease)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// submit validates a request and enqueues the job for the decision
+// loop. The drain lock spans creation and the queue send so a submit
+// can never race Shutdown's close of the queue.
+func (s *Server) submit(req JobRequest) (*job, error) {
+	if req.Scheme != "" {
+		sc, err := core.ParseScheme(req.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		if sc != s.scheme {
+			return nil, fmt.Errorf("%w: daemon evaluates scheme %q, request pinned %q",
+				ErrBadRequest, s.scheme.Name(), sc.Name())
+		}
+	}
+	spec, err := req.Kernel.spec(s.runner.GPUConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return nil, fmt.Errorf("%w: not accepting new jobs", ErrDraining)
+	}
+	j := s.store.create(req.Name, spec, req.Kernel)
+	select {
+	case s.queue <- j:
+	default:
+		j.finish(JobFailed, nil, ErrQueueFull)
+		s.count("queue_rejected", 1)
+		return nil, fmt.Errorf("%w: %d decisions pending", ErrQueueFull, cap(s.queue))
+	}
+	s.count("jobs_submitted", 1)
+	return j, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	j, err := s.submit(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobResponse{Schema: schema.Version, Job: j.view()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.store.get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// ?wait=1 blocks until the job has a verdict (or the client leaves).
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, jobResponse{Schema: schema.Version, Job: j.view()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.store.list()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view()
+	}
+	writeJSON(w, http.StatusOK, jobListResponse{Schema: schema.Version, Jobs: out})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	j, err := s.release(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse{Schema: schema.Version, Job: j.view()})
+}
+
+// handleEvents streams a job's event log over SSE: the buffered events
+// first (replay), then live events until the job reaches its verdict or
+// the client disconnects. Event ids carry the per-job sequence so
+// clients can detect gaps.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.store.get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, errors.New("server: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch := make(chan Event, 64)
+	replay := j.subscribe(ch)
+	defer j.unsubscribe(ch)
+	seen := -1
+	write := func(ev Event) {
+		if ev.Seq <= seen {
+			return // already replayed
+		}
+		seen = ev.Seq
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data)
+	}
+	for _, ev := range replay {
+		write(ev)
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev := <-ch:
+			write(ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			for {
+				select {
+				case ev := <-ch:
+					write(ev)
+				default:
+					fl.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleMetrics renders the server registry as plain "name value" lines
+// (sorted), including the schema version and live queue/mix gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mixMu.Lock()
+	mixN := len(s.mix)
+	s.mixMu.Unlock()
+	s.gauge("mix_size", float64(mixN))
+	s.gauge("queue_depth", float64(len(s.queue)))
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "qosd_schema_version %d\n", schema.Version)
+	fmt.Fprintf(w, "qosd_workers %d\n", s.runner.Workers())
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	for _, c := range s.reg.Counters() {
+		fmt.Fprintf(w, "qosd_%s %d\n", c.Name(), c.Value())
+	}
+	for _, g := range s.reg.Gauges() {
+		fmt.Fprintf(w, "qosd_%s %g\n", g.Name(), g.Value())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Schema:   schema.Version,
+		Status:   status,
+		Draining: draining,
+		Scheme:   s.scheme.Name(),
+		Workers:  s.runner.Workers(),
+		MaxMix:   s.maxMix,
+	})
+}
+
+// count bumps a server counter (statsMu-guarded: trace.Registry itself
+// is unsynchronized by design).
+func (s *Server) count(name string, delta int64) {
+	s.statsMu.Lock()
+	s.reg.Counter(name).Add(delta)
+	s.statsMu.Unlock()
+}
+
+// gauge sets a server gauge.
+func (s *Server) gauge(name string, v float64) {
+	s.statsMu.Lock()
+	s.reg.Gauge(name).Set(v)
+	s.statsMu.Unlock()
+}
+
+// Mix returns the ids of the currently admitted jobs in admission order.
+func (s *Server) Mix() []string {
+	s.mixMu.Lock()
+	defer s.mixMu.Unlock()
+	out := make([]string, len(s.mix))
+	for i, j := range s.mix {
+		out[i] = j.id
+	}
+	return out
+}
+
+// Shutdown drains the daemon: new submissions are refused (503), every
+// already-queued job still receives a real verdict, then the decision
+// loop exits and the job log is closed. If ctx expires first the drain
+// turns forced: in-flight evaluations are cancelled and undecided jobs
+// fail with ErrDraining.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.drainMu.Unlock()
+	var err error
+	select {
+	case <-s.loopDone:
+	case <-ctx.Done():
+		s.stop() // force: abort evaluations and slot waits
+		<-s.loopDone
+		err = ctx.Err()
+	}
+	s.stop()
+	s.decMu.Lock()
+	jnl := s.jnl
+	s.jnl = nil
+	s.decMu.Unlock()
+	if jnl != nil {
+		if cerr := jnl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -2,11 +2,14 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+
+	"repro/internal/schema"
 )
 
 // Format selects the export encoding.
@@ -76,6 +79,27 @@ func WriteFile(path string, t *Tracer, f Format) error {
 	return err
 }
 
+// jsonlHeader is the first line of every JSONL export: the schema
+// version shared with the checkpoint journal and the qosd v1 API
+// (internal/schema), so offline tooling can refuse traces written by a
+// different release before misreading a single event.
+type jsonlHeader struct {
+	Schema int `json:"schema"`
+}
+
+// CheckJSONLHeader validates the first line of a JSONL trace export:
+// it must be a header object whose schema version matches this build's.
+// A mismatch returns an error wrapping schema.ErrVersion.
+func CheckJSONLHeader(firstLine []byte) error {
+	var h struct {
+		Schema *int `json:"schema"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(firstLine), &h); err != nil || h.Schema == nil {
+		return fmt.Errorf("trace: missing JSONL schema header")
+	}
+	return schema.Check(*h.Schema)
+}
+
 // jsonlEvent is the JSONL line schema. Field order is the struct order
 // (encoding/json preserves it), so output is byte-deterministic for a
 // deterministic simulation — the golden-trace test depends on this.
@@ -107,6 +131,9 @@ type jsonlFooter struct {
 func exportJSONL(w io.Writer, t *Tracer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Schema: schema.Version}); err != nil {
+		return err
+	}
 	for _, ev := range t.Events() {
 		if err := enc.Encode(jsonlEvent{
 			Cycle: ev.Cycle, Epoch: ev.Epoch, Kind: ev.Kind.String(),

@@ -3,8 +3,12 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/schema"
 )
 
 func TestNilTracerIsSafe(t *testing.T) {
@@ -182,18 +186,21 @@ func TestJSONLExportRoundTrips(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 5 { // 2 events + counter + gauge + footer
-		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	if len(lines) != 6 { // header + 2 events + counter + gauge + footer
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), buf.String())
+	}
+	if err := CheckJSONLHeader([]byte(lines[0])); err != nil {
+		t.Fatalf("exported header rejected by its own decoder: %v", err)
 	}
 	var ev jsonlEvent
-	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
 		t.Fatal(err)
 	}
 	if ev.Kind != "quota_grant" || ev.Cycle != 500 || ev.A != 1000 {
-		t.Fatalf("bad first line: %+v", ev)
+		t.Fatalf("bad first event line: %+v", ev)
 	}
 	var foot jsonlFooter
-	if err := json.Unmarshal([]byte(lines[4]), &foot); err != nil {
+	if err := json.Unmarshal([]byte(lines[5]), &foot); err != nil {
 		t.Fatal(err)
 	}
 	if foot.Events != 2 || foot.Dropped != 0 {
@@ -206,6 +213,31 @@ func TestJSONLExportRoundTrips(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
 		t.Fatal("JSONL export not deterministic")
+	}
+}
+
+// TestJSONLHeaderVersionCheck pins the decode-time schema gate: the
+// exporter's own header passes, a foreign version fails with the shared
+// schema.ErrVersion sentinel, and junk fails with a readable error.
+func TestJSONLHeaderVersionCheck(t *testing.T) {
+	tr := New(4)
+	tr.QuotaGrant(1, 0, 10, 1)
+	var buf bytes.Buffer
+	if err := Export(&buf, tr, FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if err := CheckJSONLHeader([]byte(first)); err != nil {
+		t.Fatalf("current export rejected: %v", err)
+	}
+	err := CheckJSONLHeader([]byte(fmt.Sprintf(`{"schema":%d}`, schema.Version+1)))
+	if !errors.Is(err, schema.ErrVersion) {
+		t.Fatalf("foreign version not rejected with schema.ErrVersion: %v", err)
+	}
+	for _, junk := range []string{"", "{}", "not json", `{"cycle":0}`} {
+		if CheckJSONLHeader([]byte(junk)) == nil {
+			t.Fatalf("accepted %q as a header", junk)
+		}
 	}
 }
 
