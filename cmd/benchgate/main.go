@@ -1,0 +1,106 @@
+// Command benchgate records and enforces the simulator-core performance
+// baseline. It reads `go test -bench -benchmem` output on stdin (only
+// benchmarks reporting a cycles/s metric are gated) and either writes the
+// committed baseline or compares against it:
+//
+//	go test -bench 'BenchmarkSimulatorCycles' -benchmem -run '^$' . \
+//	    | benchgate -update -o BENCH_core.json      # record baseline
+//	go test -bench 'BenchmarkSimulatorCycles' -benchmem -run '^$' . \
+//	    | benchgate -baseline BENCH_core.json       # gate (exit 1 on fail)
+//
+// The gate fails when throughput drops more than -tol (default 10%,
+// override with BENCHGATE_TOL) below baseline or allocs/op rises above
+// it. BENCHGATE_HANDICAP=0.15 injects a synthetic throughput regression
+// so the tripwire itself can be tested end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"repro/internal/benchgate"
+)
+
+func main() {
+	var (
+		update   = flag.Bool("update", false, "write the parsed run as the new baseline")
+		out      = flag.String("o", "BENCH_core.json", "baseline path for -update")
+		baseline = flag.String("baseline", "", "compare stdin against this baseline and exit 1 on regression")
+		tol      = flag.Float64("tol", 0.10, "allowed fractional throughput drop")
+		window   = flag.Int64("window", 50_000, "simulated cycles per benchmark op (recorded in the baseline)")
+	)
+	flag.Parse()
+	if err := run(*update, *out, *baseline, *tol, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func envFloat(name string, def float64) (float64, error) {
+	s := os.Getenv(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: %w", name, s, err)
+	}
+	return v, nil
+}
+
+func run(update bool, out, baseline string, tol float64, window int64) error {
+	if update == (baseline != "") {
+		return fmt.Errorf("use exactly one of -update or -baseline")
+	}
+	entries, err := benchgate.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no gated benchmarks on stdin (need a cycles/s metric; was -bench filtered correctly?)")
+	}
+	cur := &benchgate.File{
+		Schema:       benchgate.Schema,
+		Go:           runtime.Version(),
+		WindowCycles: window,
+		Benchmarks:   entries,
+	}
+	if update {
+		if err := cur.Write(out); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", out, len(entries))
+		return nil
+	}
+
+	base, err := benchgate.Load(baseline)
+	if err != nil {
+		return err
+	}
+	if tol, err = envFloat("BENCHGATE_TOL", tol); err != nil {
+		return err
+	}
+	handicap, err := envFloat("BENCHGATE_HANDICAP", 0)
+	if err != nil {
+		return err
+	}
+	if handicap > 0 {
+		fmt.Printf("benchgate: applying synthetic %.0f%% throughput handicap\n", 100*handicap)
+	}
+	benchgate.ApplyHandicap(cur, handicap)
+	for _, e := range cur.Benchmarks {
+		fmt.Printf("benchgate: %-24s %12.0f cycles/s  %6d allocs/op\n",
+			e.Name, e.CyclesPerSec, e.AllocsPerOp)
+	}
+	if bad := benchgate.Compare(base, cur, tol); len(bad) > 0 {
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", v)
+		}
+		return fmt.Errorf("%d regression(s) vs %s (tolerance %.0f%%)", len(bad), baseline, 100*tol)
+	}
+	fmt.Printf("benchgate: PASS vs %s (tolerance %.0f%%)\n", baseline, 100*tol)
+	return nil
+}

@@ -64,6 +64,7 @@ type options struct {
 	traceDir    string
 	traceFmt    string
 	pprofAddr   string
+	shards      int
 }
 
 func main() {
@@ -85,6 +86,7 @@ func main() {
 	flag.StringVar(&o.traceDir, "trace", "", "directory for per-case event traces (empty = tracing off)")
 	flag.StringVar(&o.traceFmt, "trace-format", "jsonl", "trace encoding: jsonl|chrome")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.IntVar(&o.shards, "shards", 1, "step the SMs in this many parallel shards per run (bit-identical to -shards=1)")
 	flag.Parse()
 
 	if o.pprofAddr != "" {
@@ -209,7 +211,7 @@ func run(ctx context.Context, o options) error {
 		return err
 	}
 	runner, err := exp.NewRunner(o.workers,
-		exp.WithSessionOptions(core.WithGPU(cfg), core.WithWindow(o.window)),
+		exp.WithSessionOptions(core.WithGPU(cfg), core.WithWindow(o.window), core.WithShards(o.shards)),
 		exp.WithFaultPolicy(faultPolicy(o, jnl, workloads.Seed)),
 		exp.WithTraceDir(o.traceDir, traceFmtVal))
 	if err != nil {

@@ -1,0 +1,181 @@
+// Package benchgate turns `go test -bench` output into a committed JSON
+// baseline and gates CI on it: a run whose simulator throughput drops
+// more than the tolerance below the baseline, or whose steady-state
+// allocations rise above it, fails. Throughput baselines are recorded on
+// the slowest reference machine so faster CI runners clear them with
+// margin; allocs/op is machine-independent and gated tightly.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the baseline file format.
+const Schema = "benchgate/v1"
+
+// Entry records one benchmark's gated metrics.
+type Entry struct {
+	// Name is the benchmark name with the "Benchmark" prefix and the
+	// -GOMAXPROCS suffix stripped (e.g. "SimulatorCycles").
+	Name string `json:"name"`
+	// CyclesPerSec is the simulator-throughput custom metric.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// AllocsPerOp comes from -benchmem and is machine-independent.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// NsPerOp is informational; it is not gated (wall time tracks
+	// machine speed, which cycles_per_sec already captures).
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// File is the committed baseline (BENCH_core.json).
+type File struct {
+	Schema string `json:"schema"`
+	// Go records the toolchain that produced the baseline, for context
+	// when reading diffs; it is not compared.
+	Go string `json:"go"`
+	// WindowCycles is the simulated window per benchmark op.
+	WindowCycles int64   `json:"window_cycles"`
+	Benchmarks   []Entry `json:"benchmarks"`
+}
+
+// Parse extracts gated entries from `go test -bench -benchmem` text
+// output. Benchmarks that do not report a cycles/s metric are ignored:
+// the gate covers the simulator-core benchmarks, not the figure drivers.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			continue
+		}
+		e := Entry{Name: normalize(f[0]), AllocsPerOp: -1}
+		hasCycles := false
+		// After the name and iteration count the line is value/unit
+		// pairs: `1234 ns/op  330000 cycles/s  2024 allocs/op`.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value %q in %q", f[i], line)
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "cycles/s":
+				e.CyclesPerSec = v
+				hasCycles = true
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			}
+		}
+		if !hasCycles {
+			continue
+		}
+		if e.AllocsPerOp < 0 {
+			return nil, fmt.Errorf("benchgate: %s reports no allocs/op; run with -benchmem", e.Name)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// normalize strips the Benchmark prefix and the -GOMAXPROCS suffix.
+func normalize(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// Load reads a baseline file.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("benchgate: %s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Write writes a baseline file with stable formatting (one benchmark per
+// line keeps diffs reviewable).
+func (f *File) Write(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// AllocSlackFrac absorbs run-to-run allocation jitter from one-time
+// growth (heap resizes of the wake queues, pool warm-up) that -benchtime
+// cannot fully amortize. Real hot-path regressions allocate per cycle and
+// blow far past 5%.
+const AllocSlackFrac = 0.05
+
+// Compare gates cur against base: each baseline benchmark must be present
+// and within limits. tolFrac is the allowed fractional throughput drop
+// (e.g. 0.10). The returned strings are human-readable violations; an
+// empty slice means the gate passes.
+func Compare(base, cur *File, tolFrac float64) []string {
+	var bad []string
+	curByName := make(map[string]Entry, len(cur.Benchmarks))
+	for _, e := range cur.Benchmarks {
+		curByName[e.Name] = e
+	}
+	for _, b := range base.Benchmarks {
+		c, ok := curByName[b.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		if floor := b.CyclesPerSec * (1 - tolFrac); c.CyclesPerSec < floor {
+			bad = append(bad, fmt.Sprintf(
+				"%s: throughput %.0f cycles/s is %.1f%% below baseline %.0f (floor %.0f)",
+				b.Name, c.CyclesPerSec,
+				100*(1-c.CyclesPerSec/b.CyclesPerSec), b.CyclesPerSec, floor))
+		}
+		if ceil := int64(float64(b.AllocsPerOp) * (1 + AllocSlackFrac)); c.AllocsPerOp > ceil {
+			bad = append(bad, fmt.Sprintf(
+				"%s: %d allocs/op exceeds baseline %d (ceiling %d)",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp, ceil))
+		}
+	}
+	return bad
+}
+
+// ApplyHandicap scales every benchmark's throughput down by frac. It
+// exists to prove the gate trips: `BENCHGATE_HANDICAP=0.15 make ci` must
+// fail. frac <= 0 is a no-op.
+func ApplyHandicap(f *File, frac float64) {
+	if frac <= 0 {
+		return
+	}
+	for i := range f.Benchmarks {
+		f.Benchmarks[i].CyclesPerSec *= 1 - frac
+	}
+}

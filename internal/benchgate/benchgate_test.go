@@ -1,0 +1,132 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable01Parameters-4         	     100	    120000 ns/op
+BenchmarkSimulatorCycles-4           	       5	 160000000 ns/op	    312500 cycles/s	  606844 B/op	    2024 allocs/op
+BenchmarkSimulatorCyclesSharded-4    	       5	 170000000 ns/op	    294117 cycles/s	  655360 B/op	    2200 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{Name: "SimulatorCycles", CyclesPerSec: 312500, AllocsPerOp: 2024, NsPerOp: 160000000},
+		{Name: "SimulatorCyclesSharded", CyclesPerSec: 294117, AllocsPerOp: 2200, NsPerOp: 170000000},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Parse = %+v, want %+v", got, want)
+	}
+}
+
+func TestParseRejectsMissingBenchmem(t *testing.T) {
+	in := "BenchmarkSimulatorCycles-4 5 160000000 ns/op 312500 cycles/s\n"
+	if _, err := Parse(strings.NewReader(in)); err == nil {
+		t.Fatal("Parse accepted a cycles/s benchmark without allocs/op")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkSimulatorCycles-16": "SimulatorCycles",
+		"BenchmarkSimulatorCycles":    "SimulatorCycles",
+		"BenchmarkFoo-bar":            "Foo-bar", // non-numeric suffix kept
+	} {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func baseFile() *File {
+	return &File{
+		Schema:       Schema,
+		Go:           "go1.24",
+		WindowCycles: 50_000,
+		Benchmarks: []Entry{
+			{Name: "SimulatorCycles", CyclesPerSec: 300_000, AllocsPerOp: 2000, NsPerOp: 1e8},
+		},
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		name       string
+		mutate     func(*File)
+		violations int
+	}{
+		{"identical", func(f *File) {}, 0},
+		{"faster is fine", func(f *File) { f.Benchmarks[0].CyclesPerSec = 900_000 }, 0},
+		{"within tolerance", func(f *File) { f.Benchmarks[0].CyclesPerSec = 275_000 }, 0},
+		{"throughput regression", func(f *File) { f.Benchmarks[0].CyclesPerSec = 265_000 }, 1},
+		{"alloc jitter within slack", func(f *File) { f.Benchmarks[0].AllocsPerOp = 2080 }, 0},
+		{"alloc regression", func(f *File) { f.Benchmarks[0].AllocsPerOp = 2500 }, 1},
+		{"both regress", func(f *File) {
+			f.Benchmarks[0].CyclesPerSec = 100_000
+			f.Benchmarks[0].AllocsPerOp = 9984
+		}, 2},
+		{"benchmark vanished", func(f *File) { f.Benchmarks = nil }, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := baseFile()
+			tc.mutate(cur)
+			bad := Compare(baseFile(), cur, 0.10)
+			if len(bad) != tc.violations {
+				t.Fatalf("Compare found %d violations %v, want %d", len(bad), bad, tc.violations)
+			}
+		})
+	}
+}
+
+func TestApplyHandicapTripsGate(t *testing.T) {
+	cur := baseFile()
+	ApplyHandicap(cur, 0.15)
+	if bad := Compare(baseFile(), cur, 0.10); len(bad) != 1 {
+		t.Fatalf("15%% handicap against a 10%% tolerance produced %v, want 1 violation", bad)
+	}
+	unhit := baseFile()
+	ApplyHandicap(unhit, 0)
+	if !reflect.DeepEqual(unhit, baseFile()) {
+		t.Fatal("zero handicap mutated the file")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := baseFile()
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("round trip: %+v, want %+v", got, f)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := baseFile()
+	f.Schema = "benchgate/v0"
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted an unknown schema")
+	}
+}

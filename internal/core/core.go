@@ -201,6 +201,16 @@ type Config struct {
 	QoSOptions qos.Options
 	// PowerCosts overrides the energy table; nil means defaults.
 	PowerCosts *power.Costs
+	// Shards selects the simulator stepping mode: <=1 steps the SMs
+	// serially; larger values step them in that many shards on a worker
+	// pool with a deterministic barrier (gpu.SetShards). Results are
+	// bit-identical either way, so the fields are excluded from journal
+	// hashes — a checkpointed sweep may resume under different shard
+	// settings.
+	Shards int `json:"-"`
+	// ShardWorkers overrides the sharded-mode worker count (0 = derive
+	// from GOMAXPROCS). Mainly a test hook.
+	ShardWorkers int `json:"-"`
 }
 
 // Session runs simulations under one fixed configuration and caches
@@ -288,6 +298,7 @@ func (s *Session) IsolatedIPC(ctx context.Context, spec KernelSpec) (float64, er
 		if err != nil {
 			return 0, err
 		}
+		s.applyStepping(g)
 		if err := g.RunCtx(ctx, s.cfg.WindowCycles); err != nil {
 			return 0, err
 		}
@@ -381,6 +392,7 @@ func (s *Session) RunTraced(ctx context.Context, specs []KernelSpec, scheme Sche
 	if err != nil {
 		return nil, err
 	}
+	s.applyStepping(g)
 	if tr != nil {
 		// Attach before the scheme installs so the first quota
 		// allocation (epoch 0, cycle 0) is captured too.
@@ -426,6 +438,13 @@ func (s *Session) RunTraced(ctx context.Context, specs []KernelSpec, scheme Sche
 		res.Kernels = append(res.Kernels, kr)
 	}
 	return res, nil
+}
+
+// applyStepping configures the session's stepping mode (serial or
+// sharded) on a freshly built device.
+func (s *Session) applyStepping(g *gpu.GPU) {
+	g.SetShardWorkers(s.cfg.ShardWorkers)
+	g.SetShards(s.cfg.Shards)
 }
 
 // installScheme wires the chosen management policy into the GPU.

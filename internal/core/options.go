@@ -44,6 +44,23 @@ func WithPowerCosts(costs power.Costs) Option {
 	return func(s *settings) { s.cfg.PowerCosts = &costs }
 }
 
+// WithShards selects the simulator stepping mode for every run of the
+// session: n <= 1 (the default) steps the SMs serially; n > 1 steps them
+// in n shards on a small worker pool with a deterministic two-phase
+// barrier. Sharded runs are bit-identical to serial ones — the option
+// only trades goroutines for wall-clock time on multi-core hosts.
+func WithShards(n int) Option {
+	return func(s *settings) { s.cfg.Shards = n }
+}
+
+// WithShardWorkers overrides the sharded-mode worker-pool size (the
+// default derives it from GOMAXPROCS). Tests force a value above the
+// machine's CPU count so the race detector sees real goroutine
+// interleavings; 0 restores the default.
+func WithShardWorkers(w int) Option {
+	return func(s *settings) { s.cfg.ShardWorkers = w }
+}
+
 // WithSeed sets the deterministic seed used to expand kernel profiles.
 // The default is workloads.Seed; every stochastic decision in a run is a
 // pure function of this seed, so two sessions with equal configuration

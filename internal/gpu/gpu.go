@@ -71,6 +71,13 @@ type GPU struct {
 	Now          int64
 	epochIdx     int
 
+	// Sharded stepping (see shard.go). shards <= 1 is the serial
+	// stepper; shardStats holds each SM's private stats shard while
+	// sharding is on.
+	shards       int
+	shardWorkers int
+	shardStats   [][]*metrics.KernelStats
+
 	// nextEpochAt is the cycle of the next scheduled epoch roll. Epochs
 	// are tracked as a moving deadline rather than `now % EpochLength`:
 	// a controller that restarts an epoch early (Elastic, Section 3.4.3)

@@ -28,6 +28,21 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// SMs batch ThrottledCycles attribution while idle-skipping; settle
+	// before control returns so results read a consistent snapshot. In
+	// sharded mode the per-SM stats shards are drained afterwards (the
+	// settle writes throttle counts into the shards).
+	defer func() {
+		for _, s := range g.SMs {
+			s.SettleIdle()
+		}
+		g.drainStatShards()
+	}()
+	var pool *shardPool
+	if g.shards > 1 {
+		pool = newShardPool(g)
+		defer pool.stop()
+	}
 	_, deadlined := ctx.Deadline()
 	end := g.Now + cycles
 	sampleEvery := g.Cfg.EpochLength / int64(g.Cfg.IdleWarpSamples)
@@ -50,8 +65,20 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 		// ints, turning the rotation index into a panic-grade offset.
 		n := len(g.SMs)
 		start := int(now % int64(n))
-		for i := 0; i < n; i++ {
-			g.SMs[(start+i)%n].Cycle(now)
+		if pool != nil {
+			// Phase A: every SM advances in parallel, capturing its
+			// shared-state effects. Phase B: replay the captures in the
+			// same rotated order the serial stepper visits SMs in, so
+			// the shared memory system, tracer and launch bookkeeping
+			// observe the identical global sequence.
+			pool.step(now)
+			for i := 0; i < n; i++ {
+				g.SMs[(start+i)%n].FlushDeferred(now)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				g.SMs[(start+i)%n].Cycle(now)
+			}
 		}
 		if g.controller != nil {
 			g.controller.OnCycle(now)
@@ -85,6 +112,9 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 // rollEpoch snapshots per-kernel epoch counters, records them, and fires
 // the controller's epoch hook.
 func (g *GPU) rollEpoch(now int64) {
+	// The epoch counters and the controller's epoch hook read the master
+	// stats; fold in whatever the SMs accumulated privately first.
+	g.drainStatShards()
 	g.epochIdx++
 	g.tracer.SetEpoch(g.epochIdx)
 	for slot, st := range g.Stats {

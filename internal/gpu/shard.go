@@ -1,0 +1,162 @@
+package gpu
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Sharded stepping: RunCtx splits each GPU cycle into a parallel phase A,
+// where every SM advances touching only SM-private state (the SMs run in
+// deferred-capture mode — see internal/sm), and a serial phase B, where
+// each SM replays its captured shared-state effects in the exact rotated
+// SM order the serial stepper uses. Because every shared structure (the
+// memory system, the tracer, the GPU's launch bookkeeping, the stats
+// masters) is only touched in phase B, and in the identical global order,
+// a sharded run is bit-identical to a serial one — the mode is a pure
+// wall-clock optimization, opt-in via SetShards / core.WithShards.
+
+// SetShards selects the stepping mode: n <= 1 is the default serial
+// stepper; n > 1 steps the SMs in n shards (SM i belongs to shard
+// i mod n) on a small worker pool. The value is clamped to the SM count.
+// Safe to call between Run invocations; switching back to serial drains
+// the per-SM stats shards into the masters first.
+func (g *GPU) SetShards(n int) {
+	if n > len(g.SMs) {
+		n = len(g.SMs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n <= 1 {
+		if g.shardStats != nil {
+			g.drainStatShards()
+			for _, s := range g.SMs {
+				s.SetStats(g.Stats)
+				s.SetDeferred(false)
+			}
+			g.shardStats = nil
+		}
+		g.shards = 1
+		return
+	}
+	g.shards = n
+	if g.shardStats == nil {
+		g.shardStats = make([][]*metrics.KernelStats, len(g.SMs))
+		for i, s := range g.SMs {
+			rows := make([]*metrics.KernelStats, len(g.Kernels))
+			for j := range rows {
+				rows[j] = &metrics.KernelStats{}
+			}
+			g.shardStats[i] = rows
+			s.SetStats(rows)
+			s.SetDeferred(true)
+		}
+	}
+}
+
+// Shards returns the configured shard count (1 = serial stepping).
+func (g *GPU) Shards() int {
+	if g.shards < 1 {
+		return 1
+	}
+	return g.shards
+}
+
+// SetShardWorkers overrides the worker-pool size for sharded stepping.
+// The default (0) uses min(shards, GOMAXPROCS). Tests force a value
+// above GOMAXPROCS so the race detector observes real goroutine
+// interleavings even on single-CPU machines.
+func (g *GPU) SetShardWorkers(w int) { g.shardWorkers = w }
+
+// drainStatShards folds every SM's private stats shard into the GPU-wide
+// masters. Called at every point a reader can observe the masters: epoch
+// rolls (the controller reads epoch instruction counts and active-window
+// IPCs) and run exit.
+func (g *GPU) drainStatShards() {
+	if g.shardStats == nil {
+		return
+	}
+	for smID := range g.SMs {
+		rows := g.shardStats[smID]
+		for slot := range rows {
+			metrics.DrainInto(g.Stats[slot], rows[slot])
+		}
+	}
+}
+
+// shardPool runs phase A of each cycle: worker w steps shards w,
+// w+workers, ... and shard s owns SMs s, s+shards, ... The pool lives
+// for one RunCtx call; release/done channels give the necessary
+// happens-before edges around each cycle (workers only run strictly
+// between a step call's release and its collection, so the main loop's
+// serial phases never overlap a worker).
+type shardPool struct {
+	g       *GPU
+	shards  int
+	workers int
+	release []chan int64
+	wg      sync.WaitGroup
+}
+
+// newShardPool starts the extra workers (worker 0 is the caller itself,
+// stepping its shards inline between release and collection).
+func newShardPool(g *GPU) *shardPool {
+	w := g.shardWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > g.shards {
+		w = g.shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	p := &shardPool{
+		g:       g,
+		shards:  g.shards,
+		workers: w,
+		release: make([]chan int64, w),
+	}
+	for i := 1; i < w; i++ {
+		ch := make(chan int64)
+		p.release[i] = ch
+		go func(worker int) {
+			for now := range ch {
+				p.run(worker, now)
+				p.wg.Done()
+			}
+		}(i)
+	}
+	return p
+}
+
+// step advances every SM one cycle in parallel and returns when all are
+// done (the phase-A barrier).
+func (p *shardPool) step(now int64) {
+	p.wg.Add(p.workers - 1)
+	for i := 1; i < p.workers; i++ {
+		p.release[i] <- now
+	}
+	p.run(0, now)
+	p.wg.Wait()
+}
+
+// run steps every SM owned by the worker's shards.
+func (p *shardPool) run(worker int, now int64) {
+	sms := p.g.SMs
+	for sh := worker; sh < p.shards; sh += p.workers {
+		for smID := sh; smID < len(sms); smID += p.shards {
+			sms[smID].Cycle(now)
+		}
+	}
+}
+
+// stop terminates the extra workers. The pool must be idle (between
+// steps).
+func (p *shardPool) stop() {
+	for i := 1; i < p.workers; i++ {
+		close(p.release[i])
+	}
+}

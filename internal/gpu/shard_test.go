@@ -1,0 +1,110 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kern"
+)
+
+// memProfile is a memory-heavy profile so the equivalence runs exercise
+// the deferred memory-system path, MSHR/credit pressure and TB churn.
+func memProfile(name string) kern.Profile {
+	p := smallProfile(name)
+	p.Class = kern.ClassMemory
+	p.FracGlobalMem = 0.5
+	p.ReuseFrac = 0.1
+	p.Iterations = 30
+	return p
+}
+
+// runOnce executes a fresh two-kernel co-run and returns the device for
+// result comparison.
+func runOnce(t *testing.T, shards, workers int, cycles int64) *GPU {
+	t.Helper()
+	ks := make([]*kern.Kernel, 2)
+	for i, p := range []kern.Profile{smallProfile("a"), memProfile("b")} {
+		k, err := kern.Build(i, p, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks[i] = k
+	}
+	g, err := New(smallCfg(), ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetShardWorkers(workers)
+	g.SetShards(shards)
+	g.Run(cycles)
+	return g
+}
+
+// TestShardEquivalence proves the sharded stepper is bit-identical to the
+// serial one: same per-kernel stats, same epoch-record trajectories, same
+// SM-level counters — across shard counts and with the worker pool forced
+// wider than the machine (so `go test -race` observes real goroutine
+// interleavings even on one CPU).
+func TestShardEquivalence(t *testing.T) {
+	const cycles = 25_000
+	ref := runOnce(t, 1, 0, cycles)
+	for _, n := range []int{2, 4} {
+		g := runOnce(t, n, 4, cycles)
+		for slot := range ref.Stats {
+			if !reflect.DeepEqual(*ref.Stats[slot], *g.Stats[slot]) {
+				t.Errorf("shards=%d: stats[%d] diverged\nserial: %+v\nsharded: %+v",
+					n, slot, *ref.Stats[slot], *g.Stats[slot])
+			}
+			if !reflect.DeepEqual(ref.Rec.ByKernel[slot], g.Rec.ByKernel[slot]) {
+				t.Errorf("shards=%d: epoch records of slot %d diverged\nserial: %+v\nsharded: %+v",
+					n, slot, ref.Rec.ByKernel[slot], g.Rec.ByKernel[slot])
+			}
+			if ref.IPC(slot) != g.IPC(slot) {
+				t.Errorf("shards=%d: IPC[%d] = %v, serial %v", n, slot, g.IPC(slot), ref.IPC(slot))
+			}
+		}
+		for i, s := range g.SMs {
+			r := ref.SMs[i]
+			if s.IssuedWarpInstrs != r.IssuedWarpInstrs || s.ActiveCycles != r.ActiveCycles ||
+				s.Outstanding() != r.Outstanding() {
+				t.Errorf("shards=%d: SM%d counters diverged (issued %d/%d active %d/%d outstanding %d/%d)",
+					n, i, s.IssuedWarpInstrs, r.IssuedWarpInstrs, s.ActiveCycles, r.ActiveCycles,
+					s.Outstanding(), r.Outstanding())
+			}
+			if msg := s.CheckInvariants(); msg != "" {
+				t.Errorf("shards=%d: SM%d invariant: %s", n, i, msg)
+			}
+		}
+		if msg := g.CheckInvariants(); msg != "" {
+			t.Errorf("shards=%d: %s", n, msg)
+		}
+	}
+}
+
+// TestShardsClampAndReset covers the mode switches: shard counts clamp to
+// the SM count, and returning to serial drains the stat shards so no
+// counts are stranded.
+func TestShardsClampAndReset(t *testing.T) {
+	g := runOnce(t, 64, 2, 12_000) // clamped to NumSMs=4
+	if g.Shards() != 4 {
+		t.Fatalf("Shards() = %d after SetShards(64) on a 4-SM device, want 4", g.Shards())
+	}
+	ref := runOnce(t, 1, 0, 12_000)
+	instrs := g.Stats[0].ThreadInstrs + g.Stats[1].ThreadInstrs
+	want := ref.Stats[0].ThreadInstrs + ref.Stats[1].ThreadInstrs
+	if instrs != want {
+		t.Fatalf("clamped sharded run executed %d instrs, serial %d", instrs, want)
+	}
+	// Switching back to serial must drain shards and detach capture mode.
+	g.SetShards(1)
+	if g.Shards() != 1 {
+		t.Fatalf("Shards() = %d after SetShards(1), want 1", g.Shards())
+	}
+	g.Run(12_000)
+	if msg := g.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	if g.Stats[0].ThreadInstrs+g.Stats[1].ThreadInstrs <= instrs {
+		t.Fatal("no progress after switching back to serial stepping")
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+// DrainInto folds a per-SM stats shard into the GPU-wide master record
+// and resets the shard. The sharded stepping mode gives every SM a
+// private KernelStats per kernel slot so the parallel phase never writes
+// shared memory; the GPU drains the shards at every synchronization point
+// a reader can observe (epoch rolls, run exit).
+//
+// Fields fall into three classes, and the drain_test reflection test
+// fails compilation of intent — a newly added field must be filed into
+// exactly one class there before the package builds green:
+//
+//   - additive counters: summed into the master, zeroed in the shard;
+//   - window marks (HasIssued/FirstIssueCycle/LastIssueCycle): folded as
+//     or/min/max, which commute across shards and drains;
+//   - master-only bookkeeping (Launches, EpochStartInstrs,
+//     LastEpochInstrs, StartCycle): maintained by the GPU loop directly
+//     on the master record and never written through an SM, so the
+//     drain must not touch them.
+func DrainInto(dst, src *KernelStats) {
+	dst.ThreadInstrs += src.ThreadInstrs
+	dst.WarpInstrs += src.WarpInstrs
+	dst.ALUInstrs += src.ALUInstrs
+	dst.SFUInstrs += src.SFUInstrs
+	dst.SharedInstrs += src.SharedInstrs
+	dst.GlobalLoads += src.GlobalLoads
+	dst.GlobalStores += src.GlobalStores
+	dst.Barriers += src.Barriers
+	dst.Branches += src.Branches
+	dst.L1Accesses += src.L1Accesses
+	dst.L1Misses += src.L1Misses
+	dst.MemTxns += src.MemTxns
+	dst.TBsDispatched += src.TBsDispatched
+	dst.TBsCompleted += src.TBsCompleted
+	dst.TBsPreempted += src.TBsPreempted
+	dst.ThrottledCycles += src.ThrottledCycles
+	dst.IdleWarpSamples += src.IdleWarpSamples
+	if src.HasIssued {
+		if !dst.HasIssued || src.FirstIssueCycle < dst.FirstIssueCycle {
+			dst.FirstIssueCycle = src.FirstIssueCycle
+		}
+		if src.LastIssueCycle > dst.LastIssueCycle {
+			dst.LastIssueCycle = src.LastIssueCycle
+		}
+		dst.HasIssued = true
+	}
+	launches, epochStart, lastEpoch, startCycle := src.Launches, src.EpochStartInstrs, src.LastEpochInstrs, src.StartCycle
+	*src = KernelStats{
+		Launches:         launches,
+		EpochStartInstrs: epochStart,
+		LastEpochInstrs:  lastEpoch,
+		StartCycle:       startCycle,
+	}
+}

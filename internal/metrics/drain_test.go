@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every KernelStats field must be classified here; the reflection walk
+// below fails when a new field is added without deciding how the sharded
+// stepping mode's drain treats it (silently dropping a counter in
+// sharded runs is exactly the bug this guards against).
+var (
+	drainAdditive = map[string]bool{
+		"ThreadInstrs": true, "WarpInstrs": true, "ALUInstrs": true,
+		"SFUInstrs": true, "SharedInstrs": true, "GlobalLoads": true,
+		"GlobalStores": true, "Barriers": true, "Branches": true,
+		"L1Accesses": true, "L1Misses": true, "MemTxns": true,
+		"TBsDispatched": true, "TBsCompleted": true, "TBsPreempted": true,
+		"ThrottledCycles": true, "IdleWarpSamples": true,
+	}
+	drainWindow = map[string]bool{
+		"HasIssued": true, "FirstIssueCycle": true, "LastIssueCycle": true,
+	}
+	drainMasterOnly = map[string]bool{
+		"Launches": true, "EpochStartInstrs": true, "LastEpochInstrs": true,
+		"StartCycle": true,
+	}
+)
+
+func TestDrainClassificationCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(KernelStats{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		n := 0
+		for _, m := range []map[string]bool{drainAdditive, drainWindow, drainMasterOnly} {
+			if m[name] {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("field %s classified %d times; every field needs exactly one drain class", name, n)
+		}
+	}
+}
+
+// TestDrainIntoAdditive sets every additive field via reflection so a
+// field missing from DrainInto's fold shows up as a lost count.
+func TestDrainIntoAdditive(t *testing.T) {
+	var src, dst KernelStats
+	sv := reflect.ValueOf(&src).Elem()
+	for name := range drainAdditive {
+		sv.FieldByName(name).SetInt(7)
+	}
+	DrainInto(&dst, &src)
+	dv := reflect.ValueOf(&dst).Elem()
+	for name := range drainAdditive {
+		if got := dv.FieldByName(name).Int(); got != 7 {
+			t.Errorf("dst.%s = %d after drain, want 7", name, got)
+		}
+		if got := sv.FieldByName(name).Int(); got != 0 {
+			t.Errorf("src.%s = %d after drain, want 0 (shard must reset)", name, got)
+		}
+	}
+	// Draining twice must not double-count.
+	DrainInto(&dst, &src)
+	for name := range drainAdditive {
+		if got := dv.FieldByName(name).Int(); got != 7 {
+			t.Errorf("dst.%s = %d after second drain, want 7", name, got)
+		}
+	}
+}
+
+func TestDrainIntoWindowFold(t *testing.T) {
+	dst := KernelStats{HasIssued: true, FirstIssueCycle: 100, LastIssueCycle: 200}
+	src := KernelStats{HasIssued: true, FirstIssueCycle: 50, LastIssueCycle: 150}
+	DrainInto(&dst, &src)
+	if dst.FirstIssueCycle != 50 || dst.LastIssueCycle != 200 {
+		t.Errorf("window fold = [%d,%d], want [50,200]", dst.FirstIssueCycle, dst.LastIssueCycle)
+	}
+
+	// A shard that never issued must not disturb the master window.
+	dst = KernelStats{HasIssued: true, FirstIssueCycle: 100, LastIssueCycle: 200}
+	src = KernelStats{}
+	DrainInto(&dst, &src)
+	if !dst.HasIssued || dst.FirstIssueCycle != 100 || dst.LastIssueCycle != 200 {
+		t.Errorf("empty shard disturbed window: %+v", dst)
+	}
+
+	// First issue observed through a shard (master never issued).
+	dst = KernelStats{}
+	src = KernelStats{HasIssued: true, FirstIssueCycle: 0, LastIssueCycle: 9}
+	DrainInto(&dst, &src)
+	if !dst.HasIssued || dst.FirstIssueCycle != 0 || dst.LastIssueCycle != 9 {
+		t.Errorf("first-issue-at-cycle-0 fold lost: %+v", dst)
+	}
+}
+
+func TestDrainIntoLeavesMasterOnlyFields(t *testing.T) {
+	dst := KernelStats{Launches: 3, EpochStartInstrs: 11, LastEpochInstrs: 22, StartCycle: 33}
+	src := KernelStats{ThreadInstrs: 5}
+	DrainInto(&dst, &src)
+	if dst.Launches != 3 || dst.EpochStartInstrs != 11 || dst.LastEpochInstrs != 22 || dst.StartCycle != 33 {
+		t.Errorf("master-only fields disturbed: %+v", dst)
+	}
+	if dst.ThreadInstrs != 5 {
+		t.Errorf("ThreadInstrs = %d, want 5", dst.ThreadInstrs)
+	}
+}

@@ -114,6 +114,7 @@ type Manager struct {
 	unexhausted   []int     // SMs that ended the last epoch with quota left
 	epochCount    int       // epochs seen by the static adjuster
 	lastSwap      []int     // epoch of the last TB move per slot (cooldown)
+	carryScratch  []float64 // per-refresh pooled carry (reused each epoch)
 	lastReclaim   int       // epoch of the last give-back move
 	Replenish     int64     // mid-epoch non-QoS replenishments (stats)
 	ElasticNew    int64     // elastic early-epoch starts (stats)
@@ -141,6 +142,7 @@ func New(g *gpu.GPU, scheme Scheme, goals []float64, opts Options) (*Manager, er
 		deficitStreak: make([]int, len(goals)),
 		unexhausted:   make([]int, len(goals)),
 		lastSwap:      make([]int, len(goals)),
+		carryScratch:  make([]float64, len(goals)),
 		lastReclaim:   -10,
 		epochLen:      g.Cfg.EpochLength,
 		peakIPC:       float64(g.Cfg.PeakIssuePerCycle() * g.Cfg.WarpSize),
@@ -481,7 +483,10 @@ func (m *Manager) refreshQuotas(now int64) {
 	// kernel's total unused quota (Figure 4c), Elastic carries total
 	// debt (Figure 4b). Pooling also prevents a slow SM from hoarding
 	// quota that faster SMs could have consumed.
-	carry := make([]float64, len(m.quota))
+	carry := m.carryScratch
+	for i := range carry {
+		carry[i] = 0
+	}
 	for smID := range m.counters {
 		for slot, v := range m.counters[smID] {
 			switch {

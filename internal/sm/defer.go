@@ -1,0 +1,81 @@
+package sm
+
+import "repro/internal/mem"
+
+// Sharded stepping splits a GPU cycle into a parallel phase A, where
+// every SM runs Cycle touching only its own state, and a serial phase B,
+// where each SM replays its captured shared-state effects in the same
+// canonical SM order a serial run steps them in. Because the memory
+// system is consulted only in phase B, and in the identical global call
+// order, the sharded run is bit-identical to serial.
+
+// txnReq is one deferred memory-system transaction.
+type txnReq struct {
+	addr uint64
+	kind mem.AccessKind
+}
+
+// memEv groups the deferred transactions of one global-memory
+// instruction: pendTxns[off:off+n], issued at cycle base by a warp of
+// the given slot. warp is non-nil only when the issuing warp stalled on
+// the placeholder completion time and must be re-filed once the real
+// time is known. misses records that at least one read missed L1 (an
+// MSHR was reserved at issue; the completion-heap entry is added here).
+type memEv struct {
+	slot   int
+	warp   *Warp
+	base   int64
+	off, n int
+	misses bool
+}
+
+// FlushDeferred replays the shared-state effects captured by the last
+// Cycle in deferred mode: quota-stall trace edges, memory-system
+// transactions (fixing up the issuing warps' wake times), and TB-retire
+// notifications — in that order, which matches the order a serial Cycle
+// interleaves them in (the gate loop precedes the scheduler loop, and
+// within the scheduler loop accesses and retires touch disjoint shared
+// state). The caller must invoke it for each SM in the same SM order
+// the serial stepper uses.
+func (s *SM) FlushDeferred(now int64) {
+	for _, slot := range s.pendStalls {
+		s.tracer.GateStall(now, s.ID, slot, -1)
+	}
+	s.pendStalls = s.pendStalls[:0]
+
+	for i := range s.pendMems {
+		ev := &s.pendMems[i]
+		done := ev.base + s.cfg.L1HitLatency
+		for _, tr := range s.pendTxns[ev.off : ev.off+ev.n] {
+			c := s.memSys.Access(ev.base, tr.addr, tr.kind)
+			// The credit was charged at issue; only the release time
+			// was missing.
+			pushHeap(&s.txnHeap[ev.slot], c)
+			if tr.kind == mem.Read && c > done {
+				done = c
+			}
+		}
+		if ev.misses {
+			// The MSHR was reserved at issue (outstanding++); file the
+			// completion time.
+			pushHeap(&s.missHeap, done)
+		}
+		if w := ev.warp; w != nil && !w.done && !w.atBarrier && w.readyAt == deferredReadyAt {
+			w.readyAt = done
+			sch := &s.scheds[w.schedIdx]
+			s.enqueue(sch, w, now)
+			if sch.nextWake > done {
+				sch.nextWake = done
+			}
+		}
+	}
+	s.pendMems = s.pendMems[:0]
+	s.pendTxns = s.pendTxns[:0]
+
+	for _, slot := range s.pendDones {
+		if s.OnTBComplete != nil {
+			s.OnTBComplete(s.ID, slot)
+		}
+	}
+	s.pendDones = s.pendDones[:0]
+}

@@ -6,6 +6,12 @@ import (
 	"repro/internal/rng"
 )
 
+// deferredReadyAt is the placeholder wake time of a warp whose memory
+// completion is not yet known (sharded stepping defers the shared
+// memory-system access to the flush phase, which fills in the real
+// time). It doubles as the "no wake pending" sentinel in scan results.
+const deferredReadyAt = int64(1) << 62
+
 // Cycle advances the SM by one cycle: retire completed load misses, then
 // let each warp scheduler issue at most one warp instruction under GTO
 // with the quota gate applied.
@@ -13,16 +19,44 @@ func (s *SM) Cycle(now int64) {
 	if now < s.BlockedUntil {
 		return
 	}
+	if now < s.idleUntil {
+		// Every scheduler sleeps past this cycle and no tracked event
+		// is due: skip the cycle. Quota-throttle accounting for the
+		// skipped cycles is settled in bulk (the gate result is frozen
+		// while idle — any quota event calls Wake, which settles and
+		// ends the idle window).
+		s.idleSkips++
+		return
+	}
+	s.settleIdle()
+	// Capture applies only within Cycle: TB retires reached from a
+	// dispatch context (already in the serial phase) stay immediate.
+	s.capturing = s.deferMode
 	// Release MSHRs whose misses completed and transaction credits
 	// whose requests drained.
+	popped := false
 	for s.outstanding > 0 && s.missHeap[0] <= now {
 		s.popMiss()
+		popped = true
 	}
 	for slot := range s.txnHeap {
 		for s.txnFlight[slot] > 0 && s.txnHeap[slot][0] <= now {
 			popHeap(&s.txnHeap[slot])
 			s.txnFlight[slot]--
 			s.txnTotal--
+			popped = true
+		}
+	}
+	if popped {
+		// A freed MSHR or transaction credit can unblock a structurally
+		// stalled scheduler; wake those sleepers for this cycle's scan.
+		// (Completion times are not monotonic in issue order, so a sleep
+		// time computed from heap tops at scan time could overshoot —
+		// waking at pop time is exact.)
+		for i := range s.scheds {
+			if s.scheds[i].structSleep && s.scheds[i].nextWake > now {
+				s.scheds[i].nextWake = now
+			}
 		}
 	}
 	s.memIssues = 0
@@ -33,7 +67,13 @@ func (s *SM) Cycle(now int64) {
 			if s.gateOK[slot] {
 				// Transition into quota-denied: trace the edge, not
 				// every throttled cycle.
-				s.tracer.GateStall(now, s.ID, slot, -1)
+				if s.capturing {
+					if s.tracer != nil {
+						s.pendStalls = append(s.pendStalls, slot)
+					}
+				} else {
+					s.tracer.GateStall(now, s.ID, slot, -1)
+				}
 			}
 		}
 		s.gateOK[slot] = ok
@@ -45,80 +85,280 @@ func (s *SM) Cycle(now int64) {
 		if now < sch.nextWake {
 			continue
 		}
-		if w := s.pick(now, sch); w != nil {
+		if w, idx := s.pick(now, sch); w != nil {
 			s.issue(now, sch, w)
+			if w.inReady {
+				// The issue may have shifted the cache (a barrier
+				// release or TB retirement removes entries); validate
+				// the index before using it.
+				if idx >= len(sch.ready) || sch.ready[idx].w != w {
+					idx = findReady(sch, w)
+				}
+				switch {
+				case w.atBarrier:
+					// Parked: the barrier release re-files it.
+					removeReadyAt(sch, idx)
+				case w.readyAt-now >= s.cfg.L1HitLatency:
+					// Long sleep (memory wait): move to the wake heap
+					// so scans skip it. Short backoffs stay in the
+					// ready cache — cheaper to skip in the scan than
+					// to churn the heap every couple of cycles.
+					removeReadyAt(sch, idx)
+					if w.readyAt < deferredReadyAt {
+						pushWake(&sch.wakeQ, wakeEnt{w.readyAt, w})
+					}
+				default:
+					sch.ready[idx].readyAt = w.readyAt
+				}
+			}
 			issued = true
 		}
 	}
 	if issued {
 		s.ActiveCycles++
+	} else {
+		// Nothing issued and every scheduler set a wake time in the
+		// future: the SM can sleep until the earliest of them. Any
+		// asynchronous enabler (quota replenishment, dispatch, barrier
+		// release, TB retirement raising the credit budget) ends the
+		// window via Wake/Dispatch.
+		idle := s.scheds[0].nextWake
+		for i := 1; i < len(s.scheds); i++ {
+			if s.scheds[i].nextWake < idle {
+				idle = s.scheds[i].nextWake
+			}
+		}
+		// Completion-heap events must still fire on time: a pop releases
+		// an MSHR or credit (rousing structural sleepers) and keeps the
+		// occupancy counters current. Length guards rather than counter
+		// guards: in capture mode a push can be pending flush while the
+		// counter already moved.
+		if len(s.missHeap) > 0 && s.missHeap[0] < idle {
+			idle = s.missHeap[0]
+		}
+		for slot := range s.txnHeap {
+			if h := s.txnHeap[slot]; len(h) > 0 && h[0] < idle {
+				idle = h[0]
+			}
+		}
+		s.idleUntil = idle
+	}
+	s.capturing = false
+}
+
+// settleIdle folds idle-skipped cycles into the per-kernel quota
+// throttle counters. The gated set is frozen across an idle window, so
+// one bulk add per slot is exact.
+func (s *SM) settleIdle() {
+	n := s.idleSkips
+	if n == 0 {
+		return
+	}
+	s.idleSkips = 0
+	for slot := range s.kernels {
+		if !s.gateOK[slot] && s.kernels[slot].tbs > 0 {
+			s.kernels[slot].stats.ThrottledCycles += n
+		}
 	}
 }
 
+// SettleIdle flushes pending idle-cycle throttle accounting; the GPU
+// calls it before reading final stats.
+func (s *SM) SettleIdle() { s.settleIdle() }
+
 // pick implements GTO: greedily reuse the last issued warp while it is
-// issuable, otherwise take the oldest issuable warp. When nothing is
-// issuable it computes the earliest cycle worth rescanning.
-func (s *SM) pick(now int64, sch *scheduler) *Warp {
+// issuable, otherwise take the oldest issuable warp. The scheduler keeps
+// its GTO order cached instead of rescanning every warp context each
+// cycle: live warps that are ready (or on a short pipeline backoff) sit
+// in an age-ordered ready cache, while long sleepers — memory waits,
+// deferred restores — sit in a wake-time min-heap that scans never
+// touch. The split matters: short backoffs recur every few cycles, so
+// skipping them in the scan is far cheaper than churning the heap; long
+// sleeps are exactly the warps worth removing from the scan. Caches are
+// invalidated on warp state changes, not rebuilt per cycle. When nothing
+// is issuable, pick computes the earliest cycle worth rescanning.
+func (s *SM) pick(now int64, sch *scheduler) (*Warp, int) {
+	// Move sleepers whose wake time arrived into the ready cache.
+	for len(sch.wakeQ) > 0 && sch.wakeQ[0].at <= now {
+		w := sch.wakeQ[0].w
+		popWake(&sch.wakeQ)
+		if w.done || w.atBarrier || w.inReady {
+			continue // finished or preempted while asleep, or re-filed
+		}
+		s.insertReady(sch, w)
+	}
 	// Greedy reuse applies to compute instructions only: letting the
 	// last-issued warp snatch scarce memory-side resources (ports,
 	// MSHRs, transaction credits) ahead of older warps starves sparse
 	// memory requesters behind a streaming kernel indefinitely. Memory
 	// instructions always arbitrate age-ordered.
-	if w := sch.last; w != nil && !w.done && !w.atBarrier && w.readyAt <= now &&
+	if w := sch.last; w != nil && w.inReady && !w.done && !w.atBarrier && w.readyAt <= now &&
 		!w.body[w.pc].Op.IsGlobalMem() && s.issuable(now, w) {
-		return w
+		idx := sch.lastIdx
+		if idx >= len(sch.ready) || sch.ready[idx].w != w {
+			idx = findReady(sch, w)
+			sch.lastIdx = idx
+		}
+		return w, idx
 	}
 	var best *Warp
-	next := int64(1) << 62
-	sawStructural := false
+	bestIdx := -1
+	next := deferredReadyAt
 	sawGated := false
-	dead := 0
-	for _, w := range sch.warps {
-		if w.done {
-			dead++
+	s.sawPort, s.sawMSHR, s.sawCredit = false, false, false
+	longSleep := s.cfg.L1HitLatency
+	a := sch.ready
+	for i := 0; i < len(a); i++ {
+		e := &a[i]
+		// The entry mirrors the warp's slot, age and wake time so skip
+		// decisions stay inside this contiguous slice instead of
+		// dereferencing scattered warp contexts. The mirrored readyAt
+		// can lag the warp's (DeferTB raises it in place); a lagging
+		// value only costs one dereference to refresh — it never skips
+		// a warp that is actually ready.
+		if !s.gateOK[e.slot] {
+			// Quota throttling clears only on a quota event, and every
+			// quota event wakes the SM; no need to re-poll each cycle.
+			if e.readyAt > now {
+				if e.readyAt < next {
+					next = e.readyAt
+				}
+			} else {
+				sawGated = true
+			}
 			continue
 		}
-		if w.atBarrier {
-			continue // woken explicitly by barrier release
+		if e.readyAt > now {
+			if e.readyAt < next {
+				next = e.readyAt
+			}
+			continue
+		}
+		w := e.w
+		if w.done || w.atBarrier || w.readyAt-now >= longSleep {
+			// Retired, preempted and barrier-parked warps are removed
+			// eagerly, so this normally catches only a readyAt raised
+			// while cached (a DeferTB'd restore): park it in the wake
+			// heap and drop the entry.
+			live := !w.done && !w.atBarrier
+			removeReadyAt(sch, i)
+			a = sch.ready
+			if live && w.readyAt < deferredReadyAt {
+				pushWake(&sch.wakeQ, wakeEnt{w.readyAt, w})
+			}
+			i--
+			continue
 		}
 		if w.readyAt > now {
+			e.readyAt = w.readyAt // refresh the lagging mirror
 			if w.readyAt < next {
 				next = w.readyAt
 			}
 			continue
 		}
-		if !s.gateOK[w.slot] {
-			// Quota throttling clears only on a quota event, and every
-			// quota event wakes the SM; no need to re-poll each cycle.
-			sawGated = true
-			continue
-		}
-		if !s.structuralOK(w.slot, &w.body[w.pc]) {
-			sawStructural = true
-			continue
+		if !s.structuralOK(int(e.slot), &w.body[w.pc]) {
+			continue // cause recorded in sawPort/sawMSHR/sawCredit
 		}
 		best = w
-		break // warps are stored oldest-first
-	}
-	sch.deadCnt = dead
-	if dead > 16 && dead > len(sch.warps)/2 {
-		s.compact(sch)
+		bestIdx = i
+		break // the ready cache is age-ordered: oldest first
 	}
 	if best == nil {
+		if len(sch.wakeQ) > 0 && sch.wakeQ[0].at < next {
+			next = sch.wakeQ[0].at
+		}
 		switch {
-		case sawStructural:
+		case s.sawPort || s.sawMSHR || s.sawCredit:
 			s.StallStructural++
-			// Port/MSHR/backpressure stalls can clear any cycle.
-			sch.nextWake = now + 1
+			// Port conflicts clear when the per-cycle issue counter
+			// resets, so retry next cycle. MSHR and credit blocks clear
+			// only at a completion-heap pop (or a budget raise, which
+			// calls Wake): sleep on the ordinary wake estimate and let
+			// the pop loop rouse structural sleepers the cycle a slot
+			// actually frees.
+			if s.sawPort {
+				sch.nextWake = now + 1
+				sch.structSleep = false
+			} else {
+				sch.nextWake = next
+				sch.structSleep = true
+			}
 		case sawGated:
 			s.StallGate++
 			sch.nextWake = next
+			sch.structSleep = false
 		default:
 			s.StallWaiting++
 			sch.nextWake = next
+			sch.structSleep = false
+		}
+	} else {
+		sch.lastIdx = bestIdx
+	}
+	return best, bestIdx
+}
+
+// enqueue files a live warp into its scheduler's ready cache or wake
+// heap according to its readyAt. Warps at a barrier are re-filed by the
+// barrier release; warps awaiting a deferred memory completion are
+// filed by FlushDeferred once the real completion time is known.
+func (s *SM) enqueue(sch *scheduler, w *Warp, now int64) {
+	if w.done || w.atBarrier || w.inReady {
+		return
+	}
+	if w.readyAt-now >= s.cfg.L1HitLatency {
+		if w.readyAt < deferredReadyAt {
+			pushWake(&sch.wakeQ, wakeEnt{w.readyAt, w})
+		}
+		return
+	}
+	s.insertReady(sch, w)
+}
+
+// insertReady inserts w into the scheduler's ready cache at its age
+// position (the cache stays oldest-first, preserving GTO order).
+func (s *SM) insertReady(sch *scheduler, w *Warp) {
+	w.inReady = true
+	e := readyEnt{w: w, age: w.age, readyAt: w.readyAt, slot: int32(w.slot)}
+	a := append(sch.ready, e)
+	i := len(a) - 1
+	for i > 0 && a[i-1].age > e.age {
+		a[i] = a[i-1]
+		i--
+	}
+	a[i] = e
+	sch.ready = a
+}
+
+// removeReady removes w from the scheduler's ready cache if present.
+func (s *SM) removeReady(sch *scheduler, w *Warp) {
+	if !w.inReady {
+		return
+	}
+	w.inReady = false
+	if i := findReady(sch, w); i >= 0 {
+		removeReadyAt(sch, i)
+	}
+}
+
+// findReady returns the index of w's entry in the ready cache, or -1.
+func findReady(sch *scheduler, w *Warp) int {
+	for i := range sch.ready {
+		if sch.ready[i].w == w {
+			return i
 		}
 	}
-	return best
+	return -1
+}
+
+// removeReadyAt deletes the ready-cache entry at index i, preserving
+// order.
+func removeReadyAt(sch *scheduler, i int) {
+	a := sch.ready
+	a[i].w.inReady = false
+	copy(a[i:], a[i+1:])
+	a[len(a)-1] = readyEnt{}
+	sch.ready = a[:len(a)-1]
 }
 
 // issuable applies the quota gate and structural (LD/ST port, MSHR,
@@ -133,10 +373,12 @@ func (s *SM) structuralOK(slot int, in *isa.Instr) bool {
 	if in.Op.IsGlobalMem() {
 		if s.memIssues >= s.cfg.MemPortsPerSM {
 			s.BlockPort++
+			s.sawPort = true
 			return false
 		}
 		if in.Op == isa.OpLdGlobal && s.outstanding >= s.cfg.MSHRsPerSM {
 			s.BlockMSHR++
+			s.sawMSHR = true
 			return false
 		}
 		// Credit-based flow control with a guaranteed minimum per
@@ -145,8 +387,9 @@ func (s *SM) structuralOK(slot int, in *isa.Instr) bool {
 		// conserving), but under full contention every kernel keeps
 		// its share — a streaming kernel can neither starve a
 		// co-resident kernel nor strand credits it does not use.
-		if s.txnFlight[slot] >= s.txnCap() && s.txnTotal >= s.cfg.TxnFlightCapPerSM {
+		if s.txnFlight[slot] >= s.txnCapCache && s.txnTotal >= s.cfg.TxnFlightCapPerSM {
 			s.BlockCredit++
+			s.sawCredit = true
 			return false
 		}
 	}
@@ -208,6 +451,11 @@ func (s *SM) issue(now int64, sch *scheduler, w *Warp) {
 		done := s.globalAccess(now, w, in, lanes, mem.Read)
 		if s.nextDepends(w) {
 			w.readyAt = done
+			if done == deferredReadyAt {
+				// The completion time comes from the deferred replay;
+				// FlushDeferred files the warp back into the wake heap.
+				s.pendMems[len(s.pendMems)-1].warp = w
+			}
 		} else {
 			// Hit-under-miss: the warp keeps going; the MSHR is held
 			// until the data returns.
@@ -249,13 +497,19 @@ func (s *SM) nextDepends(w *Warp) bool {
 }
 
 // globalAccess performs the coalesced transactions of a global memory
-// instruction and returns the completion time of the slowest one.
+// instruction and returns the completion time of the slowest one. In
+// deferred (sharded) mode the shared memory system is not touched;
+// the transactions are recorded for FlushDeferred and the returned
+// completion time is the deferredReadyAt placeholder.
 func (s *SM) globalAccess(now int64, w *Warp, in *isa.Instr, lanes int, kind mem.AccessKind) int64 {
 	st := s.kernels[w.slot].stats
 	// Scale transaction count with the active lanes.
 	n := (int(in.Transactions)*lanes + s.cfg.WarpSize - 1) / s.cfg.WarpSize
 	if n < 1 {
 		n = 1
+	}
+	if s.capturing {
+		return s.globalAccessDeferred(now, w, in, n, kind)
 	}
 	done := now + s.cfg.L1HitLatency
 	missed := false
@@ -288,6 +542,46 @@ func (s *SM) globalAccess(now int64, w *Warp, in *isa.Instr, lanes int, kind mem
 	return done
 }
 
+// globalAccessDeferred is globalAccess in sharded capture mode: per-SM
+// effects (L1 tags, per-kernel counters, credit counts, MSHR occupancy)
+// apply immediately, while accesses to the shared memory system are
+// recorded for replay in the canonical serial order by FlushDeferred.
+func (s *SM) globalAccessDeferred(now int64, w *Warp, in *isa.Instr, n int, kind mem.AccessKind) int64 {
+	st := s.kernels[w.slot].stats
+	off := len(s.pendTxns)
+	missed := false
+	for t := 0; t < n; t++ {
+		addr := w.kernel.GlobalAddr(w.gid, w.iter, w.pc, t, in.Reuse)
+		st.MemTxns++
+		if kind == mem.Write {
+			s.pendTxns = append(s.pendTxns, txnReq{addr: addr, kind: mem.Write})
+			s.countTxn(w.slot)
+			continue
+		}
+		st.L1Accesses++
+		if s.l1.Access(addr) {
+			continue // L1 hit at base latency
+		}
+		st.L1Misses++
+		missed = true
+		s.pendTxns = append(s.pendTxns, txnReq{addr: addr, kind: mem.Read})
+		s.countTxn(w.slot)
+	}
+	if kind == mem.Read && missed {
+		// The MSHR is held from issue; the completion-heap entry is
+		// added at flush once the completion time is known.
+		s.outstanding++
+	}
+	if len(s.pendTxns) == off {
+		// Pure L1 traffic: the completion time is exact already.
+		return now + s.cfg.L1HitLatency
+	}
+	s.pendMems = append(s.pendMems, memEv{
+		slot: w.slot, base: now, off: off, n: len(s.pendTxns) - off, misses: missed,
+	})
+	return deferredReadyAt
+}
+
 // advance moves the warp past its current instruction, handling the loop
 // back-edge, phase changes, reconvergence and warp completion.
 func (s *SM) advance(now int64, w *Warp) {
@@ -317,6 +611,7 @@ func (s *SM) releaseBarrier(now int64, tb *TB) {
 		w.atBarrier = false
 		w.readyAt = now + s.cfg.BarrierLat
 		s.advance(now, w)
+		s.enqueue(&s.scheds[w.schedIdx], w, now)
 	}
 	s.Wake(now + s.cfg.BarrierLat)
 }
@@ -325,6 +620,12 @@ func (s *SM) releaseBarrier(now int64, tb *TB) {
 // at, and retires the TB when the last warp finishes.
 func (s *SM) warpDone(now int64, w *Warp) {
 	w.done = true
+	sch := &s.scheds[w.schedIdx]
+	s.removeReady(sch, w)
+	sch.deadCnt++
+	if sch.deadCnt > 16 && sch.deadCnt > len(sch.warps)/2 {
+		s.compact(sch)
+	}
 	tb := w.tb
 	tb.LiveWarps--
 	if tb.LiveWarps == 0 {
@@ -337,16 +638,22 @@ func (s *SM) warpDone(now int64, w *Warp) {
 }
 
 // retireTB frees the TB's static resources and notifies the dispatcher.
+// In capture mode the notification is deferred to FlushDeferred so the
+// GPU's shared launch state is only touched in the serial phase.
 func (s *SM) retireTB(now int64, tb *TB) {
-	s.freeTB(tb)
+	s.freeTB(now, tb)
 	s.kernels[tb.Slot].stats.TBsCompleted++
+	if s.capturing {
+		s.pendDones = append(s.pendDones, tb.Slot)
+		return
+	}
 	if s.OnTBComplete != nil {
 		s.OnTBComplete(s.ID, tb.Slot)
 	}
 }
 
 // freeTB removes tb from the resident list and releases its resources.
-func (s *SM) freeTB(tb *TB) {
+func (s *SM) freeTB(now int64, tb *TB) {
 	r := tb.Kernel.TBResources()
 	s.usedThreads -= r.Threads
 	s.usedRegs -= r.RegBytes
@@ -355,6 +662,10 @@ func (s *SM) freeTB(tb *TB) {
 	s.kernels[tb.Slot].tbs--
 	if s.kernels[tb.Slot].tbs == 0 {
 		s.residentKernels--
+		s.refreshTxnCap()
+		// A larger per-kernel credit budget can unblock other kernels'
+		// credit-stalled warps; force a rescan.
+		s.Wake(now)
 	}
 	for i, t := range s.tbs {
 		if t == tb {
@@ -365,7 +676,7 @@ func (s *SM) freeTB(tb *TB) {
 }
 
 // compact drops finished warps from a scheduler's list, preserving age
-// order.
+// order. The ready cache and wake heap drop their references lazily.
 func (s *SM) compact(sch *scheduler) {
 	out := sch.warps[:0]
 	for _, w := range sch.warps {
@@ -380,19 +691,28 @@ func (s *SM) compact(sch *scheduler) {
 	sch.deadCnt = 0
 }
 
-// txnCap returns the per-kernel in-flight transaction budget: the SM
-// total split across resident kernels, floored so a kernel is never
-// locked out entirely.
-func (s *SM) txnCap() int {
+// refreshTxnCap recomputes the cached per-kernel in-flight transaction
+// budget: the SM total split across resident kernels, floored so a
+// kernel is never locked out entirely. Called whenever the resident
+// kernel count changes instead of dividing on every structural check.
+func (s *SM) refreshTxnCap() {
 	n := s.residentKernels
 	if n < 1 {
 		n = 1
 	}
-	cap := s.cfg.TxnFlightCapPerSM / n
-	if cap < 8 {
-		cap = 8
+	c := s.cfg.TxnFlightCapPerSM / n
+	if c < 8 {
+		c = 8
 	}
-	return cap
+	s.txnCapCache = c
+}
+
+// countTxn charges one of the slot's in-flight transaction credits
+// without a completion time (capture mode; the heap entry is pushed by
+// FlushDeferred once the shared memory system has been consulted).
+func (s *SM) countTxn(slot int) {
+	s.txnFlight[slot]++
+	s.txnTotal++
 }
 
 // holdTxn charges one of the slot's in-flight transaction credits until
@@ -444,6 +764,70 @@ func popHeap(h *[]int64) {
 			small = l
 		}
 		if r < n && a[r] < a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		a[i], a[small] = a[small], a[i]
+		i = small
+	}
+	*h = a
+}
+
+// readyEnt is one ready-cache entry: the warp plus mirrored slot, age
+// and wake-time fields, so scan skip decisions read this contiguous
+// slice instead of dereferencing scattered warp contexts. readyAt may
+// lag the warp's own (it is refreshed on dereference); it never exceeds
+// it, so a stale value can only cost an extra dereference, not a
+// skipped issue.
+type readyEnt struct {
+	w       *Warp
+	age     int64
+	readyAt int64
+	slot    int32
+}
+
+// ---- wake-time min-heap (warp pointer payload) ----
+
+// wakeEnt is one sleeping warp and the cycle its readyAt passes. Entries
+// can go stale (the warp finished or was preempted while asleep); the
+// pop loop in pick validates against the warp's live state.
+type wakeEnt struct {
+	at int64
+	w  *Warp
+}
+
+// pushWake inserts e into the min-heap h (ordered by wake time).
+func pushWake(h *[]wakeEnt, e wakeEnt) {
+	a := append(*h, e)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].at <= a[i].at {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+	*h = a
+}
+
+// popWake removes the minimum of the min-heap h.
+func popWake(h *[]wakeEnt) {
+	a := *h
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = wakeEnt{}
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && a[l].at < a[small].at {
+			small = l
+		}
+		if r < n && a[r].at < a[small].at {
 			small = r
 		}
 		if small == i {

@@ -28,6 +28,8 @@ func (s *SM) PreemptTB(now int64, slot int) (ctx *TBContext, ctxBytes int, ok bo
 	if victim == nil {
 		return nil, 0, false
 	}
+	s.settleIdle()
+	s.idleUntil = 0
 	ctx = &TBContext{
 		Kernel:  victim.Kernel,
 		Slot:    victim.Slot,
@@ -43,12 +45,20 @@ func (s *SM) PreemptTB(now int64, slot int) (ctx *TBContext, ctxBytes int, ok bo
 			Done:        w.done,
 			DivState:    w.divState,
 		}
-		w.done = true // stop the warp; scheduler lists compact lazily
+		if !w.done {
+			// Stop the warp. The age-ordered scheduler list compacts
+			// lazily; the ready cache is purged now so scans never see
+			// a dead warp, and any wake-heap entry drops at pop.
+			w.done = true
+			sch := &s.scheds[w.schedIdx]
+			s.removeReady(sch, w)
+			sch.deadCnt++
+		}
 		w.atBarrier = false
 	}
 	victim.LiveWarps = 0
 	victim.BarrierWait = 0
-	s.freeTB(victim)
+	s.freeTB(now, victim)
 	s.kernels[slot].stats.TBsPreempted++
 	ctxBytes = victim.Kernel.TBResources().CtxBytes
 	s.tracer.TBPreempt(now, s.ID, slot, victim.GridIdx, ctxBytes)
@@ -93,7 +103,10 @@ func (s *SM) SampleIdleWarps(now int64, out []int64) {
 	if now < s.BlockedUntil {
 		return
 	}
-	ready := make([]int, len(s.kernels))
+	ready := s.sampleScratch
+	for i := range ready {
+		ready[i] = 0
+	}
 	total := 0
 	for i := range s.scheds {
 		for _, w := range s.scheds[i].warps {

@@ -48,6 +48,11 @@ type Warp struct {
 	done        bool
 	activeLanes int
 	divState    uint64 // per-warp divergence stream
+
+	// Scheduler cache bookkeeping.
+	schedIdx int   // owning scheduler index
+	age      int64 // per-scheduler dispatch order (GTO seniority)
+	inReady  bool  // currently filed in the scheduler's ready cache
 }
 
 // WarpState is the architectural state saved by a partial context switch.
@@ -90,12 +95,22 @@ type kernelState struct {
 	cap    int // max TBs of this kernel on this SM; <0 = unlimited
 }
 
-// scheduler is one GTO warp scheduler.
+// scheduler is one GTO warp scheduler. The GTO order is cached instead
+// of rescanning every warp context each cycle: ready holds live warps
+// whose readyAt has passed in age order (oldest first), wakeQ holds
+// sleeping warps keyed by wake time. Both are invalidated lazily on warp
+// state changes; warps at a barrier or awaiting a deferred memory
+// completion are in neither until released.
 type scheduler struct {
-	warps    []*Warp
-	last     *Warp // greedy target
-	nextWake int64 // earliest cycle a scan can possibly issue
-	deadCnt  int   // lazily compacted finished warps
+	warps       []*Warp    // every assigned warp, age order (lazily compacted)
+	ready       []readyEnt // live ready/short-backoff warps, oldest first
+	wakeQ       []wakeEnt  // long sleepers keyed by wake time
+	ageSeq      int64      // next dispatch-order stamp
+	last        *Warp      // greedy target
+	lastIdx     int        // position hint of last in ready
+	nextWake    int64      // earliest cycle a scan can possibly issue
+	structSleep bool       // sleeping on an MSHR/credit block; pops rouse it
+	deadCnt     int        // lazily compacted finished warps
 }
 
 // SM is one streaming multiprocessor.
@@ -136,10 +151,41 @@ type SM struct {
 	txnFlight       []int
 	txnTotal        int // in-flight transactions across all kernels
 	residentKernels int // slots with at least one resident TB
+	txnCapCache     int // per-kernel credit budget; tracks residentKernels
 
 	// Per-cycle issue limits and cached per-cycle state.
 	memIssues int
 	gateOK    []bool // per-slot CanIssue result for the current cycle
+
+	// Structural-block causes seen by the current pick scan; pick resets
+	// them and uses them to compute an exact re-check time instead of
+	// polling every cycle.
+	sawPort   bool
+	sawMSHR   bool
+	sawCredit bool
+
+	// Idle fast-path: when a Cycle issues nothing, every scheduler's
+	// nextWake is in the future and the SM can skip whole cycles until
+	// the earliest of them. Skipped cycles are counted and settled into
+	// ThrottledCycles (for quota-gated resident kernels) before any state
+	// mutation, so per-kernel accounting matches a cycle-by-cycle run.
+	idleUntil int64
+	idleSkips int64
+
+	// Sharded-stepping capture state. When deferMode is on, Cycle runs
+	// with capturing set: per-SM effects apply immediately while effects
+	// on shared state (memory-system accesses, trace emits, TB-complete
+	// callbacks) are recorded and replayed by FlushDeferred in the
+	// serial phase, in the same order a serial run would produce them.
+	deferMode  bool
+	capturing  bool
+	pendStalls []int    // slots with a quota-denied trace edge this cycle
+	pendTxns   []txnReq // deferred memory-system transactions
+	pendMems   []memEv  // per-instruction groups over pendTxns
+	pendDones  []int    // slots of TBs retired this cycle
+
+	// Preallocated scratch for SampleIdleWarps.
+	sampleScratch []int
 
 	// The SM is unavailable (draining for a spatial repartition or busy
 	// with context movement) until this cycle.
@@ -195,11 +241,39 @@ func (s *SM) Configure(kernels []*kern.Kernel, stats []*metrics.KernelStats, gat
 	for i := range kernels {
 		s.kernels[i] = kernelState{kernel: kernels[i], stats: stats[i], cap: -1}
 	}
+	s.sampleScratch = make([]int, len(kernels))
 	s.gate = gate
+	s.refreshTxnCap()
 }
 
+// SetStats swaps the per-slot stats sinks without disturbing residency
+// or caps; the sharded stepping mode uses it to give each SM a private
+// shard that is drained into the GPU-wide stats at synchronization
+// points. Slot order must match Configure's.
+func (s *SM) SetStats(stats []*metrics.KernelStats) {
+	if len(stats) != len(s.kernels) {
+		panic("sm: SetStats length mismatch")
+	}
+	for i := range s.kernels {
+		s.kernels[i].stats = stats[i]
+	}
+}
+
+// SetDeferred switches the SM into (or out of) sharded capture mode: see
+// the capture-state fields and FlushDeferred.
+func (s *SM) SetDeferred(on bool) { s.deferMode = on }
+
 // SetGate replaces the quota gate, leaving caps and residency intact.
-func (s *SM) SetGate(gate QuotaGate) { s.gate = gate }
+// Scheduler sleep caches are cleared: a new gate can make previously
+// quota-denied warps issuable immediately.
+func (s *SM) SetGate(gate QuotaGate) {
+	s.settleIdle()
+	s.idleUntil = 0
+	s.gate = gate
+	for i := range s.scheds {
+		s.scheds[i].nextWake = 0
+	}
+}
 
 // SetTracer attaches the observability tracer (nil turns tracing off).
 func (s *SM) SetTracer(tr *trace.Tracer) { s.tracer = tr }
@@ -325,6 +399,8 @@ func (s *SM) Dispatch(now int64, slot, gridIdx int, resume *TBContext) *TB {
 	if !s.FreeFor(slot) {
 		panic(fmt.Sprintf("sm%d: dispatch without room for slot %d", s.ID, slot))
 	}
+	s.settleIdle()
+	s.idleUntil = 0
 	ks := &s.kernels[slot]
 	k := ks.kernel
 	r := k.TBResources()
@@ -335,6 +411,7 @@ func (s *SM) Dispatch(now int64, slot, gridIdx int, resume *TBContext) *TB {
 	ks.tbs++
 	if ks.tbs == 1 {
 		s.residentKernels++
+		s.refreshTxnCap()
 	}
 	ks.stats.TBsDispatched++
 	if resume != nil {
@@ -346,15 +423,20 @@ func (s *SM) Dispatch(now int64, slot, gridIdx int, resume *TBContext) *TB {
 	warpsPerTB := k.WarpsPerTB()
 	tb := &TB{Kernel: k, Slot: slot, GridIdx: gridIdx, dispatchedAt: now}
 	tb.Warps = make([]*Warp, warpsPerTB)
+	// One contiguous allocation for the TB's warp contexts: the issue
+	// path walks them constantly, and per-warp allocations cost dispatch
+	// time and scatter the contexts across the heap. The block is not
+	// recycled when the TB retires — scheduler caches may still hold
+	// references until lazy compaction drops them.
+	block := make([]Warp, warpsPerTB)
 	for i := 0; i < warpsPerTB; i++ {
-		w := &Warp{
-			kernel:      k,
-			slot:        slot,
-			tb:          tb,
-			gid:         uint64(gridIdx)*uint64(warpsPerTB) + uint64(i),
-			activeLanes: s.cfg.WarpSize,
-			readyAt:     now,
-		}
+		w := &block[i]
+		w.kernel = k
+		w.slot = slot
+		w.tb = tb
+		w.gid = uint64(gridIdx)*uint64(warpsPerTB) + uint64(i)
+		w.activeLanes = s.cfg.WarpSize
+		w.readyAt = now
 		w.divState = rng.Mix(uint64(k.ID)<<20, w.gid)
 		if resume != nil {
 			st := resume.Warps[i]
@@ -372,9 +454,17 @@ func (s *SM) Dispatch(now int64, slot, gridIdx int, resume *TBContext) *TB {
 			tb.LiveWarps++
 		}
 		tb.Warps[i] = w
+		w.schedIdx = s.nextSch
 		sch := &s.scheds[s.nextSch]
 		s.nextSch = (s.nextSch + 1) % len(s.scheds)
+		w.age = sch.ageSeq
+		sch.ageSeq++
 		sch.warps = append(sch.warps, w)
+		if w.done {
+			sch.deadCnt++
+		} else {
+			s.enqueue(sch, w, now)
+		}
 		if sch.nextWake > now {
 			sch.nextWake = now
 		}
@@ -405,6 +495,8 @@ func (s *SM) DeferTB(tb *TB, until int64) {
 // Wake clears scheduler sleep caches so the next cycle rescans; the QoS
 // manager calls this when quotas are replenished.
 func (s *SM) Wake(now int64) {
+	s.settleIdle()
+	s.idleUntil = 0
 	for i := range s.scheds {
 		if s.scheds[i].nextWake > now {
 			s.scheds[i].nextWake = now

@@ -1,0 +1,128 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// shardedSession builds a session stepping the SMs in n shards on a pool
+// forced to 4 workers, so the serial-vs-sharded comparisons interleave
+// real goroutines even on single-CPU hosts (and `go test -race
+// -run TestShard .` exercises the pool properly). The isolated-IPC cache
+// is shared across the compared sessions: sharding is bit-identical by
+// contract, so the baselines are interchangeable — and each scheme's
+// comparison then measures them only once.
+func shardedSession(t *testing.T, n int, cache *core.IsolatedCache) *core.Session {
+	t.Helper()
+	s, err := core.NewSession(
+		core.WithWindow(30_000),
+		core.WithShards(n),
+		core.WithShardWorkers(4),
+		core.WithIsolatedCache(cache),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestShardEquivalenceSchemes runs the golden co-run under the Rollover
+// and Elastic schemes at -shards=1,2,4 and requires bit-identical
+// results: the full JSONL event trace (epoch rolls, quota grants,
+// carries, replenishes — every control decision), the final per-kernel
+// IPCs, and the complete per-kernel stats.
+func TestShardEquivalenceSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	for _, scheme := range []core.Scheme{core.SchemeRollover, core.SchemeElastic} {
+		t.Run(scheme.Name(), func(t *testing.T) {
+			cache := core.NewIsolatedCache()
+			type outcome struct {
+				res   *core.Result
+				trace []byte
+			}
+			run := func(shards int) outcome {
+				tr := trace.New(trace.DefaultRingSize)
+				s := shardedSession(t, shards, cache)
+				res, err := s.RunTraced(context.Background(), goldenSpecs(), scheme, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := trace.Export(&buf, tr, trace.FormatJSONL); err != nil {
+					t.Fatal(err)
+				}
+				return outcome{res, buf.Bytes()}
+			}
+			ref := run(1)
+			for _, n := range []int{2, 4} {
+				got := run(n)
+				if !bytes.Equal(got.trace, ref.trace) {
+					gl, rl := bytes.Split(got.trace, []byte("\n")), bytes.Split(ref.trace, []byte("\n"))
+					for i := 0; i < len(gl) && i < len(rl); i++ {
+						if !bytes.Equal(gl[i], rl[i]) {
+							t.Fatalf("shards=%d: trace diverges at line %d:\nsharded: %s\n serial: %s",
+								n, i+1, gl[i], rl[i])
+						}
+					}
+					t.Fatalf("shards=%d: trace length %d lines, serial %d", n, len(gl), len(rl))
+				}
+				if got.res.Cycles != ref.res.Cycles || got.res.TotalIPC != ref.res.TotalIPC {
+					t.Fatalf("shards=%d: cycles/IPC %d/%v, serial %d/%v",
+						n, got.res.Cycles, got.res.TotalIPC, ref.res.Cycles, ref.res.TotalIPC)
+				}
+				for i := range ref.res.Kernels {
+					if got.res.Kernels[i].IPC != ref.res.Kernels[i].IPC {
+						t.Errorf("shards=%d: kernel %d IPC %v, serial %v",
+							n, i, got.res.Kernels[i].IPC, ref.res.Kernels[i].IPC)
+					}
+					if !reflect.DeepEqual(got.res.Kernels[i].Stats, ref.res.Kernels[i].Stats) {
+						t.Errorf("shards=%d: kernel %d stats diverged\nsharded: %+v\n serial: %+v",
+							n, i, got.res.Kernels[i].Stats, ref.res.Kernels[i].Stats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedGoldenTrace pins sharded stepping to the committed golden
+// trace file directly: the byte stream a -shards=4 run exports must match
+// what the serial simulator wrote when the golden was recorded.
+func TestShardedGoldenTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "rollover_trace.golden.jsonl"))
+	if err != nil {
+		t.Fatalf("%v (record it with `go test -run TestGoldenRolloverTrace -update-golden`)", err)
+	}
+	tr := trace.New(trace.DefaultRingSize)
+	s := shardedSession(t, 4, core.NewIsolatedCache())
+	if _, err := s.RunTraced(context.Background(), goldenSpecs(), core.SchemeRollover, tr); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Export(&buf, tr, trace.FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	if !bytes.Equal(got, want) {
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("sharded trace diverges from golden at line %d:\n got: %s\nwant: %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("sharded trace length %d lines, golden has %d", len(gl), len(wl))
+	}
+}
