@@ -6,8 +6,9 @@
 # the serial-vs-sharded equivalence suite — a trace-emit benchmark smoke,
 # a short fuzz run over the checkpoint-journal decoder, and the
 # simulator-core performance gate against the committed BENCH_core.json
-# baseline (see internal/benchgate; BENCHGATE_HANDICAP=0.15 injects a
-# synthetic regression to prove the gate trips).
+# baseline (see internal/benchgate; BENCHGATE_HANDICAP=0.6 and
+# BENCHGATE_LAT_HANDICAP=4 inject synthetic regressions to prove both
+# gates trip).
 
 GO ?= go
 
@@ -57,9 +58,11 @@ staticcheck:
 bench-trace:
 	$(GO) test -bench=BenchmarkEmit -benchtime=100x -run='^$$' ./internal/trace
 
-# Simulator-core throughput benchmarks (serial and sharded stepping).
+# Simulator-core benchmarks: throughput (serial and sharded stepping)
+# and the admission fast-path latency benchmark (p50-ns / speedup-x).
 bench-core:
 	$(GO) test -bench='BenchmarkSimulatorCycles' -benchtime=3x -benchmem -count=1 -run='^$$' .
+	$(GO) test -bench='BenchmarkAdmission' -benchtime=200x -benchmem -count=1 -run='^$$' ./internal/server
 
 # Rewrite the committed performance baseline from the current tree. Run
 # on the reference machine, review the diff, and commit BENCH_core.json.
@@ -67,7 +70,8 @@ bench-json:
 	$(MAKE) bench-core | $(GO) run ./cmd/benchgate -update -o BENCH_core.json
 
 # Gate the current tree against the committed baseline: fail on a >10%
-# throughput drop or an allocs/op rise (see internal/benchgate).
+# throughput drop, an allocs/op rise, a >50% admission-p50 rise, or an
+# admission speedup below the 50x floor (see internal/benchgate).
 bench-gate:
 	$(MAKE) bench-core | $(GO) run ./cmd/benchgate -baseline BENCH_core.json
 

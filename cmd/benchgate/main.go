@@ -8,10 +8,15 @@
 //	go test -bench 'BenchmarkSimulatorCycles' -benchmem -run '^$' . \
 //	    | benchgate -baseline BENCH_core.json       # gate (exit 1 on fail)
 //
-// The gate fails when throughput drops more than -tol (default 10%,
-// override with BENCHGATE_TOL) below baseline or allocs/op rises above
-// it. BENCHGATE_HANDICAP=0.15 injects a synthetic throughput regression
-// so the tripwire itself can be tested end to end.
+// Two kinds of benchmark are gated. Throughput benchmarks (cycles/s)
+// fail when throughput drops more than -tol (default 10%, override with
+// BENCHGATE_TOL) below baseline or allocs/op rises above it. Latency
+// benchmarks (p50-ns, speedup-x — e.g. BenchmarkAdmission) fail when the
+// median latency rises more than -lat-tol (default 50%, override with
+// BENCHGATE_LAT_TOL) above baseline or the speedup falls below the
+// absolute benchgate.MinSpeedupX floor. BENCHGATE_HANDICAP=0.6 and
+// BENCHGATE_LAT_HANDICAP=4 inject synthetic regressions so both
+// tripwires can be tested end to end.
 package main
 
 import (
@@ -30,10 +35,11 @@ func main() {
 		out      = flag.String("o", "BENCH_core.json", "baseline path for -update")
 		baseline = flag.String("baseline", "", "compare stdin against this baseline and exit 1 on regression")
 		tol      = flag.Float64("tol", 0.10, "allowed fractional throughput drop")
+		latTol   = flag.Float64("lat-tol", 0.50, "allowed fractional p50 latency rise")
 		window   = flag.Int64("window", 50_000, "simulated cycles per benchmark op (recorded in the baseline)")
 	)
 	flag.Parse()
-	if err := run(*update, *out, *baseline, *tol, *window); err != nil {
+	if err := run(*update, *out, *baseline, *tol, *latTol, *window); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
@@ -51,7 +57,7 @@ func envFloat(name string, def float64) (float64, error) {
 	return v, nil
 }
 
-func run(update bool, out, baseline string, tol float64, window int64) error {
+func run(update bool, out, baseline string, tol, latTol float64, window int64) error {
 	if update == (baseline != "") {
 		return fmt.Errorf("use exactly one of -update or -baseline")
 	}
@@ -60,7 +66,7 @@ func run(update bool, out, baseline string, tol float64, window int64) error {
 		return err
 	}
 	if len(entries) == 0 {
-		return fmt.Errorf("no gated benchmarks on stdin (need a cycles/s metric; was -bench filtered correctly?)")
+		return fmt.Errorf("no gated benchmarks on stdin (need a cycles/s or p50-ns metric; was -bench filtered correctly?)")
 	}
 	cur := &benchgate.File{
 		Schema:       benchgate.Schema,
@@ -83,6 +89,9 @@ func run(update bool, out, baseline string, tol float64, window int64) error {
 	if tol, err = envFloat("BENCHGATE_TOL", tol); err != nil {
 		return err
 	}
+	if latTol, err = envFloat("BENCHGATE_LAT_TOL", latTol); err != nil {
+		return err
+	}
 	handicap, err := envFloat("BENCHGATE_HANDICAP", 0)
 	if err != nil {
 		return err
@@ -91,16 +100,29 @@ func run(update bool, out, baseline string, tol float64, window int64) error {
 		fmt.Printf("benchgate: applying synthetic %.0f%% throughput handicap\n", 100*handicap)
 	}
 	benchgate.ApplyHandicap(cur, handicap)
+	latHandicap, err := envFloat("BENCHGATE_LAT_HANDICAP", 0)
+	if err != nil {
+		return err
+	}
+	if latHandicap > 0 {
+		fmt.Printf("benchgate: applying synthetic %.0f%% latency handicap\n", 100*latHandicap)
+	}
+	benchgate.ApplyLatencyHandicap(cur, latHandicap)
 	for _, e := range cur.Benchmarks {
+		if e.Kind == benchgate.KindLatency {
+			fmt.Printf("benchgate: %-24s %12.0f p50-ns    %8.1f speedup-x\n",
+				e.Name, e.P50Ns, e.SpeedupX)
+			continue
+		}
 		fmt.Printf("benchgate: %-24s %12.0f cycles/s  %6d allocs/op\n",
 			e.Name, e.CyclesPerSec, e.AllocsPerOp)
 	}
-	if bad := benchgate.Compare(base, cur, tol); len(bad) > 0 {
+	if bad := benchgate.Compare(base, cur, tol, latTol); len(bad) > 0 {
 		for _, v := range bad {
 			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", v)
 		}
-		return fmt.Errorf("%d regression(s) vs %s (tolerance %.0f%%)", len(bad), baseline, 100*tol)
+		return fmt.Errorf("%d regression(s) vs %s (tolerance %.0f%%, latency %.0f%%)", len(bad), baseline, 100*tol, 100*latTol)
 	}
-	fmt.Printf("benchgate: PASS vs %s (tolerance %.0f%%)\n", baseline, 100*tol)
+	fmt.Printf("benchgate: PASS vs %s (tolerance %.0f%%, latency %.0f%%)\n", baseline, 100*tol, 100*latTol)
 	return nil
 }

@@ -20,7 +20,14 @@
 //	curl -s 'localhost:8715/v1/jobs/job-000001?wait=1'
 //	curl -N localhost:8715/v1/jobs/job-000001/events
 //	curl -s -X DELETE localhost:8715/v1/jobs/job-000001
+//	curl -s localhost:8715/v1/verdicts/stats
 //	curl -s localhost:8715/metrics
+//
+// The tiered fast path (-fast-path, on by default) answers repeat mixes
+// from an exact verdict cache and, when -model points at a fit produced
+// by `sweep -fit` under this exact device/window/seed/scheme, decides
+// covered mixes analytically — falling back to full simulation whenever
+// a predicted goal ratio lands within -uncertainty of its boundary.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/perfmodel"
 	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/workloads"
@@ -55,6 +63,10 @@ type options struct {
 	retries     int
 	journalPath string
 	drainWait   time.Duration
+	fastPath    bool
+	modelPath   string
+	uncertainty float64
+	cacheSize   int
 }
 
 func main() {
@@ -70,6 +82,10 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 1, "extra attempts per failing evaluation")
 	flag.StringVar(&o.journalPath, "journal", "", "crash-safe job log (restores the admitted mix on restart)")
 	flag.DurationVar(&o.drainWait, "drain-wait", 30*time.Second, "graceful drain budget on SIGTERM")
+	flag.BoolVar(&o.fastPath, "fast-path", true, "enable the tiered decision path (verdict cache + model) in front of simulation")
+	flag.StringVar(&o.modelPath, "model", "", "analytic performance-model fit (from `sweep -fit`); requires -fast-path")
+	flag.Float64Var(&o.uncertainty, "uncertainty", server.DefaultUncertaintyBand, "model trust margin: goal ratios within ±band of 1.0 escape to simulation")
+	flag.IntVar(&o.cacheSize, "verdict-cache", server.DefaultVerdictCacheSize, "exact verdict cache capacity")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -100,12 +116,23 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	var model *perfmodel.Model
+	if o.modelPath != "" {
+		model, err = perfmodel.Load(o.modelPath)
+		if err != nil {
+			return err
+		}
+	}
 	srv, err := server.New(server.Config{
-		Runner:      runner,
-		Scheme:      scheme,
-		MaxMix:      o.mix,
-		QueueDepth:  o.queue,
-		JournalPath: o.journalPath,
+		Runner:           runner,
+		Scheme:           scheme,
+		MaxMix:           o.mix,
+		QueueDepth:       o.queue,
+		JournalPath:      o.journalPath,
+		FastPath:         o.fastPath,
+		Model:            model,
+		UncertaintyBand:  o.uncertainty,
+		VerdictCacheSize: o.cacheSize,
 	})
 	if err != nil {
 		return err
@@ -114,8 +141,15 @@ func run(o options) error {
 	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "qosd: serving on %s (scheme %s, %d workers, mix %d)\n",
-			o.addr, scheme.Name(), runner.Workers(), o.mix)
+		fast := "off"
+		if o.fastPath {
+			fast = "cache"
+			if model != nil {
+				fast = "cache+model"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "qosd: serving on %s (scheme %s, %d workers, mix %d, fast path %s)\n",
+			o.addr, scheme.Name(), runner.Workers(), o.mix, fast)
 		errCh <- hs.ListenAndServe()
 	}()
 

@@ -19,6 +19,7 @@
 //	sweep -mode pairs -workers 1   # force serial execution
 //	sweep -mode pairs -journal pairs.ckpt            # checkpoint as it goes
 //	sweep -mode pairs -journal pairs.ckpt -resume    # pick up after a crash
+//	sweep -mode pairs -schemes rollover -fit fit.json  # also emit a qosd model fit
 package main
 
 import (
@@ -65,6 +66,7 @@ type options struct {
 	traceFmt    string
 	pprofAddr   string
 	shards      int
+	fitPath     string
 }
 
 func main() {
@@ -87,6 +89,7 @@ func main() {
 	flag.StringVar(&o.traceFmt, "trace-format", "jsonl", "trace encoding: jsonl|chrome")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.IntVar(&o.shards, "shards", 1, "step the SMs in this many parallel shards per run (bit-identical to -shards=1)")
+	flag.StringVar(&o.fitPath, "fit", "", "distill the pair sweep into a qosd performance-model fit at this path (pairs mode, exactly one scheme)")
 	flag.Parse()
 
 	if o.pprofAddr != "" {
@@ -241,6 +244,10 @@ func run(ctx context.Context, o options) error {
 		return false, err
 	}
 
+	if o.fitPath != "" && (o.mode != "pairs" || len(schemes) != 1) {
+		return errors.New("-fit requires -mode pairs and exactly one -schemes entry (a fit is bound to one scheme)")
+	}
+
 	switch o.mode {
 	case "pairs":
 		var pairs []workloads.Pair
@@ -255,6 +262,17 @@ func run(ctx context.Context, o options) error {
 			cases, err := runner.PairSweep(ctx, pairs, goals, sc, progress)
 			if ok, err := partial(err); !ok {
 				return err
+			}
+			if o.fitPath != "" {
+				fit, ferr := exp.ModelFit(cases, sc, runner.Session())
+				if ferr != nil {
+					return ferr
+				}
+				if ferr := fit.Save(o.fitPath); ferr != nil {
+					return ferr
+				}
+				fmt.Fprintf(os.Stderr, "sweep: wrote model fit %s (version %.12s…, %d workloads, %d pairs)\n",
+					o.fitPath, fit.Version, len(fit.Isolated), len(fit.Pairs))
 			}
 			for _, c := range cases {
 				if c.Res == nil {

@@ -1,9 +1,16 @@
 // Package benchgate turns `go test -bench` output into a committed JSON
-// baseline and gates CI on it: a run whose simulator throughput drops
-// more than the tolerance below the baseline, or whose steady-state
-// allocations rise above it, fails. Throughput baselines are recorded on
-// the slowest reference machine so faster CI runners clear them with
-// margin; allocs/op is machine-independent and gated tightly.
+// baseline and gates CI on it. Two kinds of benchmark are gated:
+//
+//   - throughput ("cycles/s"): a run whose simulator throughput drops
+//     more than the tolerance below the baseline, or whose steady-state
+//     allocations rise above it, fails;
+//   - latency ("p50-ns", "speedup-x"): a run whose median latency rises
+//     above the baseline ceiling, or whose speedup over its in-benchmark
+//     reference falls below the absolute MinSpeedupX floor, fails.
+//
+// Baselines are recorded on the slowest reference machine so faster CI
+// runners clear throughput floors and latency ceilings with margin;
+// allocs/op and speedup-x are machine-independent and gated tightly.
 package benchgate
 
 import (
@@ -17,21 +24,44 @@ import (
 	"strings"
 )
 
-// Schema identifies the baseline file format.
-const Schema = "benchgate/v1"
+// Schema identifies the baseline file format. v2 added latency-kind
+// entries; v1 files (throughput only) still load.
+const Schema = "benchgate/v2"
+
+// schemaV1 is the previous, throughput-only format, accepted on load.
+const schemaV1 = "benchgate/v1"
+
+// Entry kinds.
+const (
+	// KindThroughput gates a cycles/s floor and an allocs/op ceiling.
+	KindThroughput = "throughput"
+	// KindLatency gates a p50-ns ceiling and a speedup-x floor.
+	KindLatency = "latency"
+)
 
 // Entry records one benchmark's gated metrics.
 type Entry struct {
 	// Name is the benchmark name with the "Benchmark" prefix and the
 	// -GOMAXPROCS suffix stripped (e.g. "SimulatorCycles").
 	Name string `json:"name"`
-	// CyclesPerSec is the simulator-throughput custom metric.
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	// AllocsPerOp comes from -benchmem and is machine-independent.
+	// Kind is KindThroughput or KindLatency (empty means throughput, for
+	// v1 files).
+	Kind string `json:"kind,omitempty"`
+	// CyclesPerSec is the simulator-throughput custom metric
+	// (throughput entries).
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// AllocsPerOp comes from -benchmem and is machine-independent. It is
+	// gated for throughput entries and informational for latency ones.
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	// NsPerOp is informational; it is not gated (wall time tracks
 	// machine speed, which cycles_per_sec already captures).
 	NsPerOp float64 `json:"ns_per_op"`
+	// P50Ns is the median-latency custom metric (latency entries).
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	// SpeedupX is the latency improvement over the benchmark's own
+	// in-run reference path (latency entries); being a ratio of two
+	// same-machine measurements it is machine-independent.
+	SpeedupX float64 `json:"speedup_x,omitempty"`
 }
 
 // File is the committed baseline (BENCH_core.json).
@@ -46,8 +76,9 @@ type File struct {
 }
 
 // Parse extracts gated entries from `go test -bench -benchmem` text
-// output. Benchmarks that do not report a cycles/s metric are ignored:
-// the gate covers the simulator-core benchmarks, not the figure drivers.
+// output. A benchmark reporting cycles/s becomes a throughput entry; one
+// reporting p50-ns becomes a latency entry. Benchmarks reporting neither
+// are ignored: the gate covers the core benchmarks, not figure drivers.
 func Parse(r io.Reader) ([]Entry, error) {
 	var out []Entry
 	sc := bufio.NewScanner(r)
@@ -61,7 +92,7 @@ func Parse(r io.Reader) ([]Entry, error) {
 			continue
 		}
 		e := Entry{Name: normalize(f[0]), AllocsPerOp: -1}
-		hasCycles := false
+		hasCycles, hasP50 := false, false
 		// After the name and iteration count the line is value/unit
 		// pairs: `1234 ns/op  330000 cycles/s  2024 allocs/op`.
 		for i := 2; i+1 < len(f); i += 2 {
@@ -75,15 +106,30 @@ func Parse(r io.Reader) ([]Entry, error) {
 			case "cycles/s":
 				e.CyclesPerSec = v
 				hasCycles = true
+			case "p50-ns":
+				e.P50Ns = v
+				hasP50 = true
+			case "speedup-x":
+				e.SpeedupX = v
 			case "allocs/op":
 				e.AllocsPerOp = int64(v)
 			}
 		}
-		if !hasCycles {
+		switch {
+		case hasCycles && hasP50:
+			return nil, fmt.Errorf("benchgate: %s reports both cycles/s and p50-ns", e.Name)
+		case hasCycles:
+			if e.AllocsPerOp < 0 {
+				return nil, fmt.Errorf("benchgate: %s reports no allocs/op; run with -benchmem", e.Name)
+			}
+			e.Kind = KindThroughput
+		case hasP50:
+			e.Kind = KindLatency
+			if e.AllocsPerOp < 0 {
+				e.AllocsPerOp = 0
+			}
+		default:
 			continue
-		}
-		if e.AllocsPerOp < 0 {
-			return nil, fmt.Errorf("benchgate: %s reports no allocs/op; run with -benchmem", e.Name)
 		}
 		out = append(out, e)
 	}
@@ -115,8 +161,14 @@ func Load(path string) (*File, error) {
 	if err := json.Unmarshal(b, &f); err != nil {
 		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
 	}
-	if f.Schema != Schema {
+	if f.Schema != Schema && f.Schema != schemaV1 {
 		return nil, fmt.Errorf("benchgate: %s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	// v1 files predate entry kinds; everything they gate is throughput.
+	for i := range f.Benchmarks {
+		if f.Benchmarks[i].Kind == "" {
+			f.Benchmarks[i].Kind = KindThroughput
+		}
 	}
 	return &f, nil
 }
@@ -137,11 +189,21 @@ func (f *File) Write(path string) error {
 // blow far past 5%.
 const AllocSlackFrac = 0.05
 
-// Compare gates cur against base: each baseline benchmark must be present
-// and within limits. tolFrac is the allowed fractional throughput drop
-// (e.g. 0.10). The returned strings are human-readable violations; an
-// empty slice means the gate passes.
-func Compare(base, cur *File, tolFrac float64) []string {
+// MinSpeedupX is the absolute floor on every latency benchmark's
+// speedup-x metric, independent of the committed baseline: the fast
+// path must stay at least this much faster than its in-benchmark
+// reference (the issue's ≥50× admission fast-path requirement).
+const MinSpeedupX = 50.0
+
+// Compare gates cur against base: each baseline benchmark must be
+// present and within limits. tolFrac is the allowed fractional
+// throughput drop for throughput entries (e.g. 0.10); latTolFrac is the
+// allowed fractional median-latency rise for latency entries (e.g.
+// 0.50 — latency ceilings carry more slack than throughput floors
+// because a p50 in nanoseconds is noisier than a cycles/s mean). The
+// returned strings are human-readable violations; an empty slice means
+// the gate passes.
+func Compare(base, cur *File, tolFrac, latTolFrac float64) []string {
 	var bad []string
 	curByName := make(map[string]Entry, len(cur.Benchmarks))
 	for _, e := range cur.Benchmarks {
@@ -151,6 +213,19 @@ func Compare(base, cur *File, tolFrac float64) []string {
 		c, ok := curByName[b.Name]
 		if !ok {
 			bad = append(bad, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		if b.Kind == KindLatency {
+			if ceil := b.P50Ns * (1 + latTolFrac); c.P50Ns > ceil {
+				bad = append(bad, fmt.Sprintf(
+					"%s: p50 %.0f ns is %.1f%% above baseline %.0f (ceiling %.0f)",
+					b.Name, c.P50Ns, 100*(c.P50Ns/b.P50Ns-1), b.P50Ns, ceil))
+			}
+			if c.SpeedupX < MinSpeedupX {
+				bad = append(bad, fmt.Sprintf(
+					"%s: speedup %.1fx is below the required %.0fx floor",
+					b.Name, c.SpeedupX, MinSpeedupX))
+			}
 			continue
 		}
 		if floor := b.CyclesPerSec * (1 - tolFrac); c.CyclesPerSec < floor {
@@ -168,7 +243,7 @@ func Compare(base, cur *File, tolFrac float64) []string {
 	return bad
 }
 
-// ApplyHandicap scales every benchmark's throughput down by frac. It
+// ApplyHandicap scales every throughput benchmark down by frac. It
 // exists to prove the gate trips: `BENCHGATE_HANDICAP=0.15 make ci` must
 // fail. frac <= 0 is a no-op.
 func ApplyHandicap(f *File, frac float64) {
@@ -176,6 +251,26 @@ func ApplyHandicap(f *File, frac float64) {
 		return
 	}
 	for i := range f.Benchmarks {
+		if f.Benchmarks[i].Kind == KindLatency {
+			continue
+		}
 		f.Benchmarks[i].CyclesPerSec *= 1 - frac
+	}
+}
+
+// ApplyLatencyHandicap injects a synthetic latency regression: every
+// latency benchmark's p50 is inflated by frac and its speedup deflated
+// to match, so BENCHGATE_LAT_HANDICAP can prove the latency gate trips.
+// frac <= 0 is a no-op.
+func ApplyLatencyHandicap(f *File, frac float64) {
+	if frac <= 0 {
+		return
+	}
+	for i := range f.Benchmarks {
+		if f.Benchmarks[i].Kind != KindLatency {
+			continue
+		}
+		f.Benchmarks[i].P50Ns *= 1 + frac
+		f.Benchmarks[i].SpeedupX /= 1 + frac
 	}
 }

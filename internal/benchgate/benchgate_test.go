@@ -13,6 +13,7 @@ pkg: repro
 BenchmarkTable01Parameters-4         	     100	    120000 ns/op
 BenchmarkSimulatorCycles-4           	       5	 160000000 ns/op	    312500 cycles/s	  606844 B/op	    2024 allocs/op
 BenchmarkSimulatorCyclesSharded-4    	       5	 170000000 ns/op	    294117 cycles/s	  655360 B/op	    2200 allocs/op
+BenchmarkAdmission-4                 	    1000	      8000 ns/op	      5200 p50-ns	      9800 speedup-x	    4402 B/op	      43 allocs/op
 PASS
 ok  	repro	12.3s
 `
@@ -23,8 +24,9 @@ func TestParse(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []Entry{
-		{Name: "SimulatorCycles", CyclesPerSec: 312500, AllocsPerOp: 2024, NsPerOp: 160000000},
-		{Name: "SimulatorCyclesSharded", CyclesPerSec: 294117, AllocsPerOp: 2200, NsPerOp: 170000000},
+		{Name: "Admission", Kind: KindLatency, P50Ns: 5200, SpeedupX: 9800, AllocsPerOp: 43, NsPerOp: 8000},
+		{Name: "SimulatorCycles", Kind: KindThroughput, CyclesPerSec: 312500, AllocsPerOp: 2024, NsPerOp: 160000000},
+		{Name: "SimulatorCyclesSharded", Kind: KindThroughput, CyclesPerSec: 294117, AllocsPerOp: 2200, NsPerOp: 170000000},
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Parse = %+v, want %+v", got, want)
@@ -56,7 +58,8 @@ func baseFile() *File {
 		Go:           "go1.24",
 		WindowCycles: 50_000,
 		Benchmarks: []Entry{
-			{Name: "SimulatorCycles", CyclesPerSec: 300_000, AllocsPerOp: 2000, NsPerOp: 1e8},
+			{Name: "Admission", Kind: KindLatency, P50Ns: 5000, SpeedupX: 9000, AllocsPerOp: 43, NsPerOp: 8000},
+			{Name: "SimulatorCycles", Kind: KindThroughput, CyclesPerSec: 300_000, AllocsPerOp: 2000, NsPerOp: 1e8},
 		},
 	}
 }
@@ -68,22 +71,34 @@ func TestCompare(t *testing.T) {
 		violations int
 	}{
 		{"identical", func(f *File) {}, 0},
-		{"faster is fine", func(f *File) { f.Benchmarks[0].CyclesPerSec = 900_000 }, 0},
-		{"within tolerance", func(f *File) { f.Benchmarks[0].CyclesPerSec = 275_000 }, 0},
-		{"throughput regression", func(f *File) { f.Benchmarks[0].CyclesPerSec = 265_000 }, 1},
-		{"alloc jitter within slack", func(f *File) { f.Benchmarks[0].AllocsPerOp = 2080 }, 0},
-		{"alloc regression", func(f *File) { f.Benchmarks[0].AllocsPerOp = 2500 }, 1},
+		{"faster is fine", func(f *File) { f.Benchmarks[1].CyclesPerSec = 900_000 }, 0},
+		{"within tolerance", func(f *File) { f.Benchmarks[1].CyclesPerSec = 275_000 }, 0},
+		{"throughput regression", func(f *File) { f.Benchmarks[1].CyclesPerSec = 265_000 }, 1},
+		{"alloc jitter within slack", func(f *File) { f.Benchmarks[1].AllocsPerOp = 2080 }, 0},
+		{"alloc regression", func(f *File) { f.Benchmarks[1].AllocsPerOp = 2500 }, 1},
 		{"both regress", func(f *File) {
-			f.Benchmarks[0].CyclesPerSec = 100_000
-			f.Benchmarks[0].AllocsPerOp = 9984
+			f.Benchmarks[1].CyclesPerSec = 100_000
+			f.Benchmarks[1].AllocsPerOp = 9984
 		}, 2},
-		{"benchmark vanished", func(f *File) { f.Benchmarks = nil }, 1},
+		{"benchmark vanished", func(f *File) { f.Benchmarks = f.Benchmarks[:1] }, 1},
+		// Latency entries: p50 is gated against a ceiling, speedup
+		// against the absolute MinSpeedupX floor; allocs are not gated.
+		{"lower latency is fine", func(f *File) { f.Benchmarks[0].P50Ns = 900 }, 0},
+		{"latency within tolerance", func(f *File) { f.Benchmarks[0].P50Ns = 7400 }, 0},
+		{"latency regression", func(f *File) { f.Benchmarks[0].P50Ns = 7600 }, 1},
+		{"latency allocs not gated", func(f *File) { f.Benchmarks[0].AllocsPerOp = 9000 }, 0},
+		{"speedup below floor", func(f *File) { f.Benchmarks[0].SpeedupX = 49 }, 1},
+		{"speedup above floor but below baseline", func(f *File) { f.Benchmarks[0].SpeedupX = 51 }, 0},
+		{"latency and speedup regress", func(f *File) {
+			f.Benchmarks[0].P50Ns = 1e6
+			f.Benchmarks[0].SpeedupX = 2
+		}, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cur := baseFile()
 			tc.mutate(cur)
-			bad := Compare(baseFile(), cur, 0.10)
+			bad := Compare(baseFile(), cur, 0.10, 0.50)
 			if len(bad) != tc.violations {
 				t.Fatalf("Compare found %d violations %v, want %d", len(bad), bad, tc.violations)
 			}
@@ -94,13 +109,60 @@ func TestCompare(t *testing.T) {
 func TestApplyHandicapTripsGate(t *testing.T) {
 	cur := baseFile()
 	ApplyHandicap(cur, 0.15)
-	if bad := Compare(baseFile(), cur, 0.10); len(bad) != 1 {
+	if bad := Compare(baseFile(), cur, 0.10, 0.50); len(bad) != 1 {
 		t.Fatalf("15%% handicap against a 10%% tolerance produced %v, want 1 violation", bad)
 	}
 	unhit := baseFile()
 	ApplyHandicap(unhit, 0)
 	if !reflect.DeepEqual(unhit, baseFile()) {
 		t.Fatal("zero handicap mutated the file")
+	}
+}
+
+// TestApplyLatencyHandicapTripsGate proves the latency tripwire: a
+// synthetic p50 inflation beyond the tolerance must fail the gate, and
+// a deep one must also drag the speedup below its floor.
+func TestApplyLatencyHandicapTripsGate(t *testing.T) {
+	cur := baseFile()
+	ApplyLatencyHandicap(cur, 0.75)
+	if bad := Compare(baseFile(), cur, 0.10, 0.50); len(bad) != 1 {
+		t.Fatalf("75%% latency handicap against a 50%% tolerance produced %v, want 1 violation", bad)
+	}
+	// Throughput entries are untouched.
+	if cur.Benchmarks[1] != baseFile().Benchmarks[1] {
+		t.Fatal("latency handicap mutated a throughput entry")
+	}
+	deep := baseFile()
+	ApplyLatencyHandicap(deep, 300)
+	if bad := Compare(baseFile(), deep, 0.10, 0.50); len(bad) != 2 {
+		t.Fatalf("deep latency handicap produced %v, want p50 + speedup violations", bad)
+	}
+	unhit := baseFile()
+	ApplyLatencyHandicap(unhit, 0)
+	if !reflect.DeepEqual(unhit, baseFile()) {
+		t.Fatal("zero latency handicap mutated the file")
+	}
+}
+
+// TestLoadAcceptsV1 pins the one-release compatibility shim: a v1
+// (throughput-only) baseline still loads, with kinds defaulted.
+func TestLoadAcceptsV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := &File{
+		Schema: schemaV1,
+		Benchmarks: []Entry{
+			{Name: "SimulatorCycles", CyclesPerSec: 300_000, AllocsPerOp: 2000, NsPerOp: 1e8},
+		},
+	}
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks[0].Kind != KindThroughput {
+		t.Fatalf("v1 entry kind = %q, want %q", got.Benchmarks[0].Kind, KindThroughput)
 	}
 }
 

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+// ModelFit distills a completed pair sweep into a perfmodel fit: each
+// case contributes the pair's isolated IPCs and one degradation point
+// (QoS and partner IPC retention at the swept goal fraction). The fit
+// is bound to the session's configuration and seed, so only a daemon
+// running the identical simulator can load it. Failed cases (Res nil)
+// are skipped; an empty sweep is an error.
+func ModelFit(cases []PairCase, scheme core.Scheme, sess *core.Session) (*perfmodel.Fit, error) {
+	cfgHash, err := perfmodel.ConfigHash(sess.Config(), sess.Seed())
+	if err != nil {
+		return nil, err
+	}
+	fit := &perfmodel.Fit{
+		Schema:     perfmodel.FitSchema,
+		ConfigHash: cfgHash,
+		Scheme:     scheme.Name(),
+		Isolated:   make(map[string]float64),
+		Pairs:      make(map[string][]perfmodel.PairPoint),
+	}
+	n := 0
+	for _, c := range cases {
+		if c.Res == nil || c.Scheme != scheme {
+			continue
+		}
+		q, nq := c.QoSKernel(), c.NonQoSKernel()
+		fit.Isolated[q.Name] = q.IsolatedIPC
+		fit.Isolated[nq.Name] = nq.IsolatedIPC
+		key := perfmodel.PairKey(q.Name, nq.Name)
+		fit.Pairs[key] = append(fit.Pairs[key], perfmodel.PairPoint{
+			Goal:           c.Goal,
+			QoSRetention:   q.NormThroughput,
+			OtherRetention: nq.NormThroughput,
+		})
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("exp: no completed %s pair cases to fit a model from", scheme.Name())
+	}
+	if err := fit.Finalize(); err != nil {
+		return nil, err
+	}
+	return fit, nil
+}

@@ -106,7 +106,7 @@ func TestOpenRejectsForeignVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	future := bytes.Replace(hl, []byte(`"v":1`), []byte(`"v":99`), 1)
+	future := bytes.Replace(hl, []byte(fmt.Sprintf(`"v":%d`, Version)), []byte(`"v":99`), 1)
 	if err := os.WriteFile(path, append(future, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}

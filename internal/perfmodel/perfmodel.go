@@ -1,0 +1,320 @@
+// Package perfmodel is the analytic middle tier of the admission fast
+// path: an interpolated performance model fitted from sweep/calibrate
+// output. The fit holds each kernel's isolated IPC plus a pairwise
+// contention-degradation matrix — for every ordered (QoS, other) pair,
+// the measured IPC retention of both kernels across the goal-fraction
+// grid. Predicting a hypothetical mix multiplies a kernel's isolated
+// IPC by its interpolated pairwise retentions (the independence
+// approximation of the QoS-aware microservices literature); the
+// admission decision follows only when every QoS goal ratio is clearly
+// outside a configurable uncertainty band, otherwise the decision
+// escapes to full simulation.
+//
+// Fits are content-addressed: Version is the hash of the fit body, and
+// a fit is bound to the exact simulator configuration and seed through
+// ConfigHash, so a daemon can refuse a model trained on a different
+// device, window or scheme.
+package perfmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/schema"
+)
+
+// FitSchema identifies the model-fit file format.
+const FitSchema = "perfmodel/v1"
+
+// PairPoint is one fitted sample of an ordered (QoS, other) co-run: at
+// Goal (the QoS kernel's goal fraction of isolated IPC), the QoS kernel
+// retained QoSRetention of its isolated IPC and the partner retained
+// OtherRetention of its own.
+type PairPoint struct {
+	Goal           float64 `json:"goal"`
+	QoSRetention   float64 `json:"qos_retention"`
+	OtherRetention float64 `json:"other_retention"`
+}
+
+// Fit is the serialized model: isolated IPC per workload plus the
+// pairwise degradation matrix keyed by PairKey.
+type Fit struct {
+	Schema string `json:"schema"`
+	// Version is the hex hash of the fit body with Version itself
+	// zeroed; Finalize computes it and Load verifies it.
+	Version string `json:"version"`
+	// ConfigHash binds the fit to the simulator configuration and seed
+	// it was measured under (ConfigHash below).
+	ConfigHash string `json:"config_hash"`
+	// Scheme names the QoS scheme the pair matrix was swept under.
+	// Empty means an isolated-only fit (calibrate output), usable for
+	// single-kernel mixes under any scheme.
+	Scheme   string                 `json:"scheme,omitempty"`
+	Isolated map[string]float64     `json:"isolated"`
+	Pairs    map[string][]PairPoint `json:"pairs,omitempty"`
+}
+
+// PairKey keys the degradation matrix by ordered (QoS, other) pair.
+func PairKey(qos, other string) string { return qos + "|" + other }
+
+// ConfigHash hashes a simulator configuration and seed exactly the way
+// fits and the admission daemon bind to them — one definition so the
+// two sides can never disagree on the JSON shape.
+func ConfigHash(cfg core.Config, seed uint64) (string, error) {
+	return journal.Hash(struct {
+		Config core.Config
+		Seed   uint64
+	}{cfg, seed})
+}
+
+// hash computes the content hash with Version zeroed.
+func (f *Fit) hash() (string, error) {
+	clone := *f
+	clone.Version = ""
+	return journal.Hash(clone)
+}
+
+// Finalize sorts every pair's points by goal and stamps Version.
+func (f *Fit) Finalize() error {
+	if f.Schema == "" {
+		f.Schema = FitSchema
+	}
+	for _, pts := range f.Pairs {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Goal < pts[j].Goal })
+	}
+	h, err := f.hash()
+	if err != nil {
+		return err
+	}
+	f.Version = h
+	return nil
+}
+
+// Save writes the fit as indented JSON.
+func (f *Fit) Save(path string) error {
+	if f.Version == "" {
+		if err := f.Finalize(); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads and verifies a fit file and wraps it in a Model.
+func Load(path string) (*Model, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f Fit
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("perfmodel: %s: %w", path, err)
+	}
+	m, err := New(&f)
+	if err != nil {
+		return nil, fmt.Errorf("perfmodel: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Model is a verified, immutable fit ready for prediction.
+type Model struct {
+	fit *Fit
+}
+
+// New verifies the fit's schema and content hash.
+func New(f *Fit) (*Model, error) {
+	if f.Schema != FitSchema {
+		return nil, fmt.Errorf("%w: fit schema %q, want %q", schema.ErrVersion, f.Schema, FitSchema)
+	}
+	want, err := f.hash()
+	if err != nil {
+		return nil, err
+	}
+	if f.Version != want {
+		return nil, fmt.Errorf("fit version %q does not match content hash %q (corrupted or hand-edited fit)",
+			f.Version, want)
+	}
+	return &Model{fit: f}, nil
+}
+
+// Version returns the fit's content hash.
+func (m *Model) Version() string { return m.fit.Version }
+
+// ConfigHash returns the configuration binding of the fit.
+func (m *Model) ConfigHash() string { return m.fit.ConfigHash }
+
+// Scheme returns the scheme the fit was swept under ("" = isolated-only).
+func (m *Model) Scheme() string { return m.fit.Scheme }
+
+// Kernel is one kernel of a hypothetical mix to predict. GoalIPC takes
+// precedence over GoalFrac, matching core.KernelSpec semantics.
+type Kernel struct {
+	Workload string
+	GoalFrac float64
+	GoalIPC  float64
+}
+
+// KernelPrediction is the model's estimate for one kernel of the mix.
+type KernelPrediction struct {
+	Workload string
+	IsQoS    bool
+	GoalIPC  float64
+	// IPC is the predicted co-run IPC: isolated IPC times the product of
+	// interpolated pairwise retentions.
+	IPC      float64
+	Isolated float64
+	// Ratio is IPC / GoalIPC for QoS kernels (0 otherwise).
+	Ratio float64
+}
+
+// Prediction is the model's view of a hypothetical mix.
+type Prediction struct {
+	Kernels []KernelPrediction
+	// Margin is the smallest distance of any QoS goal ratio from 1.0
+	// (1 when the mix has no QoS kernel): how far the mix is from the
+	// admit/reject boundary.
+	Margin float64
+}
+
+// Confidence clamps the margin into [0,1] for verdict reporting.
+func (p *Prediction) Confidence() float64 {
+	if p.Margin > 1 {
+		return 1
+	}
+	if p.Margin < 0 {
+		return 0
+	}
+	return p.Margin
+}
+
+// Decide applies the uncertainty band: (true, true) when every QoS goal
+// ratio clears 1+band, (false, true) when any ratio falls at or below
+// 1-band, and (false, false) — escape to simulation — when any ratio
+// lands inside the band. A mix with no QoS kernel admits vacuously.
+func (p *Prediction) Decide(band float64) (admit, clear bool) {
+	allClear := true
+	for _, k := range p.Kernels {
+		if !k.IsQoS {
+			continue
+		}
+		if k.Ratio <= 1-band {
+			return false, true
+		}
+		if k.Ratio < 1+band {
+			allClear = false
+		}
+	}
+	return allClear, allClear
+}
+
+// Predict estimates the mix. ok is false — the caller must fall through
+// to simulation — when any required coverage is missing: an unknown
+// workload, or a pair the degradation matrix was never fitted on.
+// Contention between two best-effort kernels is not modeled (no goal
+// axis to fit it on); it cannot affect the admission decision, which
+// depends only on QoS goal ratios, so those IPC estimates are upper
+// bounds and labeled as such by the missing pairwise factor.
+func (m *Model) Predict(kernels []Kernel) (*Prediction, bool) {
+	type resolved struct {
+		iso, goalIPC, goalFrac float64
+		qos                    bool
+	}
+	rs := make([]resolved, len(kernels))
+	for i, k := range kernels {
+		iso, ok := m.fit.Isolated[k.Workload]
+		if !ok || iso <= 0 {
+			return nil, false
+		}
+		r := resolved{iso: iso}
+		switch {
+		case k.GoalIPC > 0:
+			r.goalIPC, r.goalFrac, r.qos = k.GoalIPC, k.GoalIPC/iso, true
+		case k.GoalFrac > 0:
+			r.goalIPC, r.goalFrac, r.qos = k.GoalFrac*iso, k.GoalFrac, true
+		}
+		rs[i] = r
+	}
+	p := &Prediction{Kernels: make([]KernelPrediction, len(kernels)), Margin: 1}
+	for i, k := range kernels {
+		retention := 1.0
+		for j, other := range kernels {
+			if i == j {
+				continue
+			}
+			switch {
+			case rs[i].qos:
+				pts := m.fit.Pairs[PairKey(k.Workload, other.Workload)]
+				if len(pts) == 0 {
+					return nil, false
+				}
+				retention *= interp(pts, rs[i].goalFrac, true)
+			case rs[j].qos:
+				pts := m.fit.Pairs[PairKey(other.Workload, k.Workload)]
+				if len(pts) == 0 {
+					return nil, false
+				}
+				retention *= interp(pts, rs[j].goalFrac, false)
+			}
+		}
+		kp := KernelPrediction{
+			Workload: k.Workload,
+			IsQoS:    rs[i].qos,
+			GoalIPC:  rs[i].goalIPC,
+			Isolated: rs[i].iso,
+			IPC:      rs[i].iso * retention,
+		}
+		if kp.IsQoS {
+			kp.Ratio = kp.IPC / kp.GoalIPC
+			if d := abs(kp.Ratio - 1); d < p.Margin {
+				p.Margin = d
+			}
+		}
+		p.Kernels[i] = kp
+	}
+	return p, true
+}
+
+// interp linearly interpolates the retention curve at goal, clamped to
+// the fitted grid's ends. qos selects which retention column to read.
+func interp(pts []PairPoint, goal float64, qos bool) float64 {
+	val := func(p PairPoint) float64 {
+		if qos {
+			return p.QoSRetention
+		}
+		return p.OtherRetention
+	}
+	if goal <= pts[0].Goal {
+		return val(pts[0])
+	}
+	last := pts[len(pts)-1]
+	if goal >= last.Goal {
+		return val(last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if goal <= pts[i].Goal {
+			lo, hi := pts[i-1], pts[i]
+			if hi.Goal == lo.Goal {
+				return val(hi)
+			}
+			t := (goal - lo.Goal) / (hi.Goal - lo.Goal)
+			return val(lo) + t*(val(hi)-val(lo))
+		}
+	}
+	return val(last)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,158 @@
+package perfmodel
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// testFit builds a small hand-written fit: sgemm (iso 4.0) paired with
+// lbm (iso 2.0) across three goal points.
+func testFit(t *testing.T) *Fit {
+	t.Helper()
+	f := &Fit{
+		Schema:     FitSchema,
+		ConfigHash: "cfg-test",
+		Scheme:     "rollover",
+		Isolated:   map[string]float64{"sgemm": 4.0, "lbm": 2.0},
+		Pairs: map[string][]PairPoint{
+			PairKey("sgemm", "lbm"): {
+				{Goal: 0.50, QoSRetention: 0.60, OtherRetention: 0.80},
+				{Goal: 0.70, QoSRetention: 0.72, OtherRetention: 0.60},
+				{Goal: 0.95, QoSRetention: 0.90, OtherRetention: 0.30},
+			},
+		},
+	}
+	if err := f.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(testFit(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPredictInterpolates(t *testing.T) {
+	m := testModel(t)
+	// Exactly on a grid point: retention 0.72 at goal 0.70 → ratio
+	// 0.72/0.70.
+	p, ok := m.Predict([]Kernel{{Workload: "sgemm", GoalFrac: 0.70}, {Workload: "lbm"}})
+	if !ok {
+		t.Fatal("covered mix escaped")
+	}
+	q, b := p.Kernels[0], p.Kernels[1]
+	if !q.IsQoS || b.IsQoS {
+		t.Fatalf("qos flags: %+v %+v", q, b)
+	}
+	if want := 4.0 * 0.72; q.IPC != want {
+		t.Fatalf("qos IPC = %v, want %v", q.IPC, want)
+	}
+	if want := 2.0 * 0.60; b.IPC != want {
+		t.Fatalf("partner IPC = %v, want %v", b.IPC, want)
+	}
+	// Midpoint: goal 0.60 → retention (0.60+0.72)/2 = 0.66.
+	p, ok = m.Predict([]Kernel{{Workload: "sgemm", GoalFrac: 0.60}, {Workload: "lbm"}})
+	if !ok {
+		t.Fatal("escape")
+	}
+	if want := 4.0 * 0.66; abs(p.Kernels[0].IPC-want) > 1e-12 {
+		t.Fatalf("interpolated IPC = %v, want %v", p.Kernels[0].IPC, want)
+	}
+	// Clamped below the grid.
+	p, _ = m.Predict([]Kernel{{Workload: "sgemm", GoalFrac: 0.10}, {Workload: "lbm"}})
+	if want := 4.0 * 0.60; p.Kernels[0].IPC != want {
+		t.Fatalf("clamped IPC = %v, want %v", p.Kernels[0].IPC, want)
+	}
+	// An absolute-IPC goal resolves through isolated IPC: goal 2.8 IPC
+	// on iso 4.0 is goal fraction 0.70.
+	p, ok = m.Predict([]Kernel{{Workload: "sgemm", GoalIPC: 2.8}, {Workload: "lbm"}})
+	if !ok || abs(p.Kernels[0].IPC-4.0*0.72) > 1e-12 {
+		t.Fatalf("goal-ipc form: %+v ok=%v", p.Kernels[0], ok)
+	}
+}
+
+func TestPredictEscapesOnMissingCoverage(t *testing.T) {
+	m := testModel(t)
+	for name, mix := range map[string][]Kernel{
+		"unknown workload": {{Workload: "histo", GoalFrac: 0.5}},
+		"unfitted pair":    {{Workload: "lbm", GoalFrac: 0.5}, {Workload: "sgemm"}}, // only sgemm|lbm fitted
+	} {
+		if _, ok := m.Predict(mix); ok {
+			t.Errorf("%s: expected escape", name)
+		}
+	}
+	// Single known kernel needs no pair data.
+	if _, ok := m.Predict([]Kernel{{Workload: "sgemm", GoalFrac: 0.5}}); !ok {
+		t.Error("single-kernel mix escaped")
+	}
+}
+
+func TestDecideBand(t *testing.T) {
+	m := testModel(t)
+	// Goal 0.50 → retention 0.60 → ratio 1.2: clear admit at band 0.1,
+	// uncertain at band 0.25.
+	p, _ := m.Predict([]Kernel{{Workload: "sgemm", GoalFrac: 0.50}, {Workload: "lbm"}})
+	if admit, clear := p.Decide(0.10); !admit || !clear {
+		t.Fatalf("ratio 1.2 band 0.1: admit=%v clear=%v", admit, clear)
+	}
+	if _, clear := p.Decide(0.25); clear {
+		t.Fatal("ratio 1.2 inside band 0.25 did not escape")
+	}
+	// Goal 0.95 → retention 0.90 → ratio ≈0.947: clear reject at band
+	// 0.05 is false (0.947 > 0.95)… uncertain; at band 0.02 it is a
+	// clear reject (0.947 ≤ 0.98 is false — check the actual boundary).
+	p, _ = m.Predict([]Kernel{{Workload: "sgemm", GoalFrac: 0.95}, {Workload: "lbm"}})
+	ratio := p.Kernels[0].Ratio
+	if ratio >= 1 {
+		t.Fatalf("fixture ratio = %v, want < 1", ratio)
+	}
+	if admit, clear := p.Decide(1 - ratio - 0.001); !clear || admit {
+		t.Fatalf("ratio %v just outside band: admit=%v clear=%v", ratio, admit, clear)
+	}
+	if _, clear := p.Decide(1 - ratio + 0.001); clear {
+		t.Fatalf("ratio %v just inside band decided", ratio)
+	}
+	// No QoS kernel: vacuous clear admit, margin 1. (Both best-effort:
+	// no pairwise factor is required or applied.)
+	p, ok := m.Predict([]Kernel{{Workload: "sgemm"}, {Workload: "lbm"}})
+	if !ok {
+		t.Fatal("best-effort mix escaped")
+	}
+	if admit, clear := p.Decide(0.5); !admit || !clear || p.Margin != 1 {
+		t.Fatalf("vacuous mix: admit=%v clear=%v margin=%v", admit, clear, p.Margin)
+	}
+}
+
+func TestFitRoundTripAndTamperDetection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fit.json")
+	f := testFit(t)
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != f.Version || m.ConfigHash() != "cfg-test" || m.Scheme() != "rollover" {
+		t.Fatalf("loaded model: %q %q %q", m.Version(), m.ConfigHash(), m.Scheme())
+	}
+	// Tampering with the body without re-finalizing must be rejected.
+	tampered := testFit(t)
+	tampered.Isolated["sgemm"] = 9.9 // Version now stale
+	if err := tampered.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a fit whose version does not match its content")
+	}
+	// Version is deterministic: same content, same hash.
+	if a, b := testFit(t).Version, testFit(t).Version; a != b {
+		t.Fatalf("fit version unstable: %s vs %s", a, b)
+	}
+}

@@ -16,7 +16,13 @@ import (
 // Version is the current schema version. Bump it when any serialized
 // layout changes: journal line shape, trace JSONL line shape, or the v1
 // API response envelope.
-const Version = 1
+//
+// v2 replaced the ad-hoc admission status fields with the first-class
+// Verdict object (decision/tier/confidence/model_version/evidence_ref)
+// shared by the /v1 API, SSE payloads and the decision journal; the v1
+// `admitted` boolean is kept for one release as a compatibility mirror
+// of `decision` (see README "v1 → v2 verdict migration").
+const Version = 2
 
 // ErrVersion marks an artifact written under a different schema version.
 // The journal, trace and server decoders all wrap it, so callers can

@@ -1,0 +1,87 @@
+package schema
+
+// The first-class admission verdict shared by every surface that used
+// to carry ad-hoc status fields: POST/GET /v1/jobs responses, SSE
+// "verdict" events, and the decision journal (internal/server). One
+// struct here means the wire form, the crash log and the replay tooling
+// can never drift apart, and the version constant above governs all of
+// them at once.
+
+// Decision values of Verdict.Decision.
+const (
+	DecisionAdmit  = "admit"
+	DecisionReject = "reject"
+)
+
+// Tier values of Verdict.Tier: which stage of the tiered decision path
+// produced the verdict.
+const (
+	// TierCache is an exact hit in the canonical mix-signature cache.
+	TierCache = "cache"
+	// TierModel is the interpolated analytic performance model.
+	TierModel = "model"
+	// TierSim is the full what-if co-run simulation (the fallback tier,
+	// and the only tier when the fast path is disabled).
+	TierSim = "sim"
+)
+
+// Decision returns the Decision string for an admit/reject boolean.
+func Decision(admitted bool) string {
+	if admitted {
+		return DecisionAdmit
+	}
+	return DecisionReject
+}
+
+// KernelOutcome is one kernel's result inside an admission verdict. For
+// simulation-backed verdicts it mirrors core.KernelResult; for
+// model-tier verdicts the IPC fields are the model's interpolated
+// predictions.
+type KernelOutcome struct {
+	JobID          string  `json:"job_id,omitempty"`
+	Workload       string  `json:"workload"`
+	IsQoS          bool    `json:"is_qos"`
+	GoalIPC        float64 `json:"goal_ipc,omitempty"`
+	IPC            float64 `json:"ipc"`
+	IsolatedIPC    float64 `json:"isolated_ipc"`
+	Reached        bool    `json:"reached"`
+	GoalRatio      float64 `json:"goal_ratio,omitempty"`
+	NormThroughput float64 `json:"norm_throughput,omitempty"`
+}
+
+// Verdict is the admission decision with its evidence and provenance:
+// what was decided, which tier decided it, how confident the deciding
+// tier was, and the per-kernel outcome of the hypothetical mix
+// (incumbents plus the candidate, candidate last).
+type Verdict struct {
+	// Decision is "admit" or "reject".
+	Decision string `json:"decision"`
+	// Tier records which tier decided: "cache", "model" or "sim".
+	Tier string `json:"tier"`
+	// Confidence is the deciding tier's confidence in [0,1]. Simulation
+	// evidence is 1; the model reports its uncertainty-band margin
+	// (clamped to 1); cache hits inherit the stored verdict's value.
+	Confidence float64 `json:"confidence"`
+	// ModelVersion is the fit hash of the analytic model when the
+	// evidence came from the model tier (directly or via the cache).
+	ModelVersion string `json:"model_version,omitempty"`
+	// EvidenceRef names the canonical mix signature the verdict was
+	// decided (and cached) under, as "sig:<prefix>".
+	EvidenceRef string `json:"evidence_ref,omitempty"`
+	Reason      string `json:"reason"`
+	Scheme      string `json:"scheme"`
+	// MixBefore lists the ids of the jobs admitted when the decision ran.
+	MixBefore  []string        `json:"mix_before"`
+	Candidate  KernelOutcome   `json:"candidate"`
+	Incumbents []KernelOutcome `json:"incumbents,omitempty"`
+	// Cycles is the simulated measurement window of the what-if run
+	// backing the verdict (0 for model-tier verdicts: no run happened).
+	Cycles int64 `json:"cycles"`
+
+	// Admitted mirrors Decision == "admit". Deprecated: v1 compatibility
+	// shim, kept for one release; read Decision instead.
+	Admitted bool `json:"admitted"`
+}
+
+// IsAdmitted reports whether the verdict admits the candidate.
+func (v *Verdict) IsAdmitted() bool { return v.Decision == DecisionAdmit }

@@ -5,17 +5,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
-	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/verdict"
 )
 
 // The admission controller. Decisions are made by ONE goroutine
 // (decisionLoop) in strict submission order: given the same decision log
-// (candidate + mix snapshot per entry), a serial replay of the what-if
-// runs reproduces every verdict bit for bit, because the simulator is
-// deterministic under a fixed seed. The soak test exploits exactly this.
+// (candidate + mix snapshot per entry), a serial replay through the same
+// tiered decision path (see tiers.go and Replayer) reproduces every
+// verdict — and its deciding tier — bit for bit, because the simulator
+// is deterministic under a fixed seed and the verdict cache evolves
+// through the same serial access sequence. The soak test exploits
+// exactly this.
 
 // MixEntry is one kernel of an admission snapshot — enough to rebuild
 // its core.KernelSpec for replay or journal recovery.
@@ -58,18 +62,64 @@ type Decision struct {
 func (s *Server) decisionLoop() {
 	defer close(s.loopDone)
 	for j := range s.queue {
+		if s.processBatch(j) {
+			return
+		}
+	}
+}
+
+// simShare is one batch-local memoized what-if run, shared between batch
+// members whose hypothetical mixes are identical (same ordered specs and
+// scheme): concurrent arrivals of the same request coalesce onto one
+// simulation instead of each paying for their own.
+type simShare struct {
+	res *core.Result
+	tr  *trace.Tracer
+}
+
+// maxBatch bounds how many queued arrivals one batch absorbs before the
+// memo is discarded and a fresh batch starts (bounds memo memory; the
+// remaining queue is simply the next batch).
+const maxBatch = 1024
+
+// processBatch decides first plus any submissions that arrive while the
+// batch is being worked. Returns true when the queue closed during the
+// batch (drain: every drained job is still decided before returning).
+func (s *Server) processBatch(first *job) (closed bool) {
+	batch := []*job{first}
+	memo := make(map[string]*simShare)
+	for bi := 0; bi < len(batch); bi++ {
+		j := batch[bi]
 		if s.gate != nil {
 			// Test hook: hold the next decision until the test releases it,
 			// making queue-overflow (429) behavior deterministic.
 			<-s.gate
+		}
+		if !closed {
+			// Opportunistically absorb queued arrivals into the batch
+			// (after the gate, so tests can pin queue occupancy first).
+		drain:
+			for len(batch) < maxBatch {
+				select {
+				case k, ok := <-s.queue:
+					if !ok {
+						closed = true
+						break drain
+					}
+					batch = append(batch, k)
+				default:
+					break drain
+				}
+			}
 		}
 		if err := s.waitSlot(); err != nil {
 			j.finish(JobFailed, nil, err)
 			s.count("jobs_failed", 1)
 			continue
 		}
-		s.evaluate(j)
+		s.evaluate(j, memo)
 	}
+	return closed
 }
 
 // waitSlot blocks until the admitted mix has room for one more kernel,
@@ -90,9 +140,12 @@ func (s *Server) waitSlot() error {
 	}
 }
 
-// evaluate runs the what-if co-run (admitted mix + candidate) on a
-// pooled worker session and turns the result into an admission verdict.
-func (s *Server) evaluate(j *job) {
+// evaluate decides one job through the tiered path: exact verdict
+// cache, then the analytic model, then the what-if co-run (admitted mix
+// + candidate) on a pooled worker session — with identical co-runs
+// coalesced inside the batch via memo.
+func (s *Server) evaluate(j *job, memo map[string]*simShare) {
+	start := time.Now()
 	j.setState(JobEvaluating)
 	s.mixMu.Lock()
 	mix := append([]*job(nil), s.mix...)
@@ -100,52 +153,72 @@ func (s *Server) evaluate(j *job) {
 
 	specs := make([]core.KernelSpec, 0, len(mix)+1)
 	entries := make([]MixEntry, 0, len(mix))
+	ids := make([]string, 0, len(mix)+1)
 	for _, m := range mix {
 		specs = append(specs, m.spec)
 		entries = append(entries, mixEntry(m))
+		ids = append(ids, m.id)
 	}
 	specs = append(specs, j.spec)
+	ids = append(ids, j.id)
 
 	// A hypothetical mix with no QoS kernel has no contract to protect;
 	// the QoS manager refuses goal-less co-runs, so the what-if runs
 	// under unmanaged sharing and admits vacuously (AllReached is true
 	// with zero QoS kernels) — still with real throughput evidence.
-	scheme := s.scheme
-	hasQoS := false
-	for _, sp := range specs {
-		if sp.GoalFrac > 0 || sp.GoalIPC > 0 {
-			hasQoS = true
-			break
-		}
-	}
-	if !hasQoS {
-		scheme = core.SchemeNone
-	}
+	scheme := effectiveScheme(s.scheme, specs)
+	sigs := kernelSigs(specs)
+	sig := verdict.Signature(sigs, scheme.Name(), s.dec.cfgHash)
 
-	var res *core.Result
-	tr := trace.New(1 << 12)
-	err := s.runner.Do(s.baseCtx, j.seq, func(ctx context.Context, sess *core.Session) error {
-		r, rerr := sess.RunTraced(ctx, specs, scheme, tr)
-		if rerr != nil {
-			return rerr
-		}
-		res = r
-		return nil
-	})
-	s.count("evaluations", 1)
-	if err != nil {
-		j.finish(JobFailed, nil, err)
-		s.count("jobs_failed", 1)
-		s.record(Decision{Kind: "decision", JobID: j.id, JobSeq: j.seq, Name: j.name,
-			Candidate: mixEntry(j), Mix: entries})
-		return
+	fr := s.dec.tryFast(sig, sigs, ids, scheme.Name())
+	if fr.cacheMiss {
+		s.count("verdict_cache_misses", 1)
 	}
-	s.absorbRun(tr, res)
-	s.forwardTrace(j, tr, len(specs)-1)
-
-	v := s.verdict(j, mix, entries, res)
+	if fr.modelEscape {
+		s.count("model_escapes", 1)
+	}
+	v := fr.v
+	if v == nil {
+		// Tier 3: full simulation. The memo key is the ORDERED spec list
+		// (not the canonical signature): slots are not interchangeable in
+		// the simulator, so only bit-identical what-ifs may share a run —
+		// which keeps coalesced verdicts reproducible by a serial replay
+		// that simulates each decision individually.
+		okey := orderedKey(specs, scheme)
+		sh := memo[okey]
+		if sh != nil {
+			s.count("verdicts_coalesced", 1)
+		} else {
+			tr := trace.New(1 << 12)
+			var res *core.Result
+			err := s.runner.Do(s.baseCtx, j.seq, func(ctx context.Context, sess *core.Session) error {
+				r, rerr := sess.RunTraced(ctx, specs, scheme, tr)
+				if rerr != nil {
+					return rerr
+				}
+				res = r
+				return nil
+			})
+			s.count("evaluations", 1)
+			if err != nil {
+				j.finish(JobFailed, nil, err)
+				s.count("jobs_failed", 1)
+				s.record(Decision{Kind: "decision", JobID: j.id, JobSeq: j.seq, Name: j.name,
+					Candidate: mixEntry(j), Mix: entries})
+				return
+			}
+			s.absorbRun(tr, res)
+			sh = &simShare{res: res, tr: tr}
+			memo[okey] = sh
+		}
+		s.forwardTrace(j, sh.tr, len(specs)-1)
+		v = simVerdict(sh.res, ids, sig)
+		s.dec.store(sig, v, sigs)
+	}
+	s.count("verdicts_tier_"+v.Tier, 1)
 	s.record(Decision{Kind: "decision", JobID: j.id, JobSeq: j.seq, Name: j.name,
 		Candidate: mixEntry(j), Mix: entries, Admitted: v.Admitted, Verdict: v})
+	s.observeLatency(v.Tier, time.Since(start))
 	if v.Admitted {
 		s.mixMu.Lock()
 		s.mix = append(s.mix, j)
@@ -160,50 +233,16 @@ func (s *Server) evaluate(j *job) {
 	j.finish(JobRejected, v, fmt.Errorf("%w: %s", ErrAdmissionRejected, v.Reason))
 }
 
-// verdict scores the what-if result. The decision rule is the paper's
-// QoS contract applied transitively: admit if and only if every QoS
-// kernel of the hypothetical mix — the candidate and all incumbents —
-// reaches its goal (Result.AllReached).
-func (s *Server) verdict(j *job, mix []*job, entries []MixEntry, res *core.Result) *Verdict {
-	outcome := func(kr core.KernelResult, jobID string) KernelOutcome {
-		return KernelOutcome{
-			JobID:          jobID,
-			Workload:       kr.Name,
-			IsQoS:          kr.IsQoS,
-			GoalIPC:        kr.GoalIPC,
-			IPC:            kr.IPC,
-			IsolatedIPC:    kr.IsolatedIPC,
-			Reached:        kr.Reached,
-			GoalRatio:      kr.GoalRatio,
-			NormThroughput: kr.NormThroughput,
-		}
+// orderedKey keys the batch memo by the exact ordered what-if input.
+func orderedKey(specs []core.KernelSpec, scheme core.Scheme) string {
+	b, err := json.Marshal(struct {
+		Specs  []core.KernelSpec
+		Scheme string
+	}{specs, scheme.Name()})
+	if err != nil {
+		return fmt.Sprintf("%v|%s", specs, scheme.Name())
 	}
-	mixIDs := make([]string, len(entries))
-	for i, e := range entries {
-		mixIDs[i] = e.JobID
-	}
-	v := &Verdict{
-		Admitted:  res.AllReached,
-		Scheme:    res.Scheme.Name(),
-		MixBefore: mixIDs,
-		Candidate: outcome(res.Kernels[len(res.Kernels)-1], j.id),
-		Cycles:    res.Cycles,
-	}
-	for i, kr := range res.Kernels[:len(res.Kernels)-1] {
-		v.Incumbents = append(v.Incumbents, outcome(kr, mix[i].id))
-	}
-	if res.AllReached {
-		v.Reason = "all QoS goals reached in the what-if co-run"
-		return v
-	}
-	var missed []string
-	for _, o := range append(v.Incumbents, v.Candidate) {
-		if o.IsQoS && !o.Reached {
-			missed = append(missed, fmt.Sprintf("%s (%s) at %.1f%% of goal", o.JobID, o.Workload, 100*o.GoalRatio))
-		}
-	}
-	v.Reason = "QoS goal missed by " + strings.Join(missed, ", ")
-	return v
+	return string(b)
 }
 
 // release frees an admitted job's mix slot (DELETE /v1/jobs/{id}). Only

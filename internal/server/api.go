@@ -3,8 +3,10 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -109,34 +111,14 @@ type JobRequest struct {
 	Scheme string `json:"scheme,omitempty"`
 }
 
-// KernelOutcome is one kernel's result inside an admission verdict,
-// mirroring core.KernelResult for the wire.
-type KernelOutcome struct {
-	JobID          string  `json:"job_id,omitempty"`
-	Workload       string  `json:"workload"`
-	IsQoS          bool    `json:"is_qos"`
-	GoalIPC        float64 `json:"goal_ipc,omitempty"`
-	IPC            float64 `json:"ipc"`
-	IsolatedIPC    float64 `json:"isolated_ipc"`
-	Reached        bool    `json:"reached"`
-	GoalRatio      float64 `json:"goal_ratio,omitempty"`
-	NormThroughput float64 `json:"norm_throughput,omitempty"`
-}
-
-// Verdict is the admission decision with its predicted-attainment
-// evidence: the simulated what-if co-run of the admitted mix plus the
-// candidate.
-type Verdict struct {
-	Admitted bool   `json:"admitted"`
-	Reason   string `json:"reason"`
-	Scheme   string `json:"scheme"`
-	// MixBefore lists the ids of the jobs admitted when the what-if ran.
-	MixBefore  []string        `json:"mix_before"`
-	Candidate  KernelOutcome   `json:"candidate"`
-	Incumbents []KernelOutcome `json:"incumbents,omitempty"`
-	// Cycles is the simulated measurement window of the what-if run.
-	Cycles int64 `json:"cycles"`
-}
+// KernelOutcome and Verdict are the schema-owned first-class decision
+// types (internal/schema), shared verbatim by job responses, SSE
+// "verdict" events and the decision journal. The aliases keep the
+// package-local names the rest of the server (and its tests) use.
+type (
+	KernelOutcome = schema.KernelOutcome
+	Verdict       = schema.Verdict
+)
 
 // JobView is the wire form of one job.
 type JobView struct {
@@ -180,6 +162,38 @@ type errorResponse struct {
 	Code   int    `json:"code"`
 }
 
+// tierStats is one tier's slice of the verdict statistics.
+type tierStats struct {
+	// Decisions counts verdicts this tier decided.
+	Decisions int64 `json:"decisions"`
+	// LatencyEWMANs is the exponentially weighted moving average of this
+	// tier's decision latency in nanoseconds (0 until it decides once).
+	LatencyEWMANs float64 `json:"latency_ewma_ns"`
+}
+
+// verdictStatsResponse is the GET /v1/verdicts/stats body. The same
+// counters appear as qosd_* lines on /metrics.
+type verdictStatsResponse struct {
+	Schema   int  `json:"schema"`
+	FastPath bool `json:"fast_path"`
+	// Tiers maps "cache"/"model"/"sim" to per-tier decision counts and
+	// latency EWMAs.
+	Tiers map[string]tierStats `json:"tiers"`
+	// CacheMisses counts decisions that missed the exact cache (fast
+	// path only); CacheSize/CacheCapacity describe the cache itself.
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheSize     int   `json:"cache_size"`
+	CacheCapacity int   `json:"cache_capacity,omitempty"`
+	// ModelEscapes counts decisions the model declined (coverage hole or
+	// a prediction inside the uncertainty band).
+	ModelEscapes int64 `json:"model_escapes"`
+	// Coalesced counts batched decisions that shared another arrival's
+	// what-if co-run instead of running their own.
+	Coalesced       int64   `json:"coalesced"`
+	ModelVersion    string  `json:"model_version,omitempty"`
+	UncertaintyBand float64 `json:"uncertainty_band,omitempty"`
+}
+
 // writeJSON writes v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -190,11 +204,57 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeErr translates err through the taxonomy (httpStatus) and writes
-// the uniform error body; 429s carry a Retry-After hint.
-func writeErr(w http.ResponseWriter, err error) {
+// the uniform error body; 429s carry a Retry-After hint derived from
+// the observed per-tier decision latencies (retryAfterSeconds), so
+// fast-path-heavy loads don't over-back-off clients.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	status := httpStatus(err)
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(1))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, status, errorResponse{Schema: schema.Version, Error: err.Error(), Code: status})
+}
+
+// retryAfterSeconds estimates how long a 429'd client should wait: the
+// decision-count-weighted blend of the per-tier latency EWMAs times the
+// work ahead of it (queue depth + 1), rounded up to whole seconds and
+// clamped to [1, 600]. Before any decision has landed it falls back to
+// 1 second.
+func (s *Server) retryAfterSeconds() int {
+	var weightedNs, n float64
+	s.statsMu.Lock()
+	for _, tier := range []string{schema.TierCache, schema.TierModel, schema.TierSim} {
+		c := float64(s.reg.Counter("verdicts_tier_" + tier).Value())
+		weightedNs += c * s.reg.Gauge("latency_ewma_ns_"+tier).Value()
+		n += c
+	}
+	s.statsMu.Unlock()
+	if n == 0 {
+		return 1
+	}
+	secs := int(math.Ceil(weightedNs / n * float64(len(s.queue)+1) / 1e9))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
+}
+
+// latencyEWMAAlpha is the smoothing factor of the per-tier decision
+// latency averages.
+const latencyEWMAAlpha = 0.3
+
+// observeLatency folds one decision's wall-clock latency into its
+// tier's EWMA gauge (exposed on /metrics and /v1/verdicts/stats).
+func (s *Server) observeLatency(tier string, d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	s.statsMu.Lock()
+	g := s.reg.Gauge("latency_ewma_ns_" + tier)
+	if prev := g.Value(); prev > 0 {
+		ns = prev*(1-latencyEWMAAlpha) + ns*latencyEWMAAlpha
+	}
+	g.Set(ns)
+	s.statsMu.Unlock()
 }

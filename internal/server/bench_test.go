@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+// benchServer is testServer for benchmarks: a daemon on the default
+// 16-SM device over a 30k-cycle window.
+func benchServer(b *testing.B, cfg Config) *Server {
+	b.Helper()
+	r, err := exp.NewRunner(2, exp.WithSessionOptions(core.WithWindow(30_000)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Runner = r
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// decideOnce drives one full admission round trip — submit, wait for
+// the verdict, release if admitted — and returns the submit-to-verdict
+// latency.
+func decideOnce(b *testing.B, s *Server, req JobRequest) time.Duration {
+	b.Helper()
+	start := time.Now()
+	j, err := s.submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-j.done
+	d := time.Since(start)
+	if j.view().State == string(JobAdmitted) {
+		if _, err := s.release(j.id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+func p50(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// BenchmarkAdmission measures the tiered fast path's submit-to-verdict
+// latency on a cache-warm mixed stream and reports it against the
+// simulate-every-request baseline:
+//
+//	p50-ns    — median fast-path decision latency
+//	speedup-x — baseline sim-tier p50 over fast-path p50
+//
+// benchgate enforces a ceiling on p50-ns and the issue's ≥50× floor on
+// speedup-x (BENCH_core.json).
+func BenchmarkAdmission(b *testing.B) {
+	reqs := []JobRequest{
+		qos("sgemm", 0.5),
+		qos("sgemm", 0.95),
+		qos("lbm", 0.3),
+		be("histo"),
+	}
+
+	// Baseline: the same stream with the fast path off simulates every
+	// decision. A handful of rounds is enough for a stable median.
+	base := benchServer(b, Config{MaxMix: 1})
+	var baseLat []time.Duration
+	for round := 0; round < 3; round++ {
+		for _, req := range reqs {
+			baseLat = append(baseLat, decideOnce(b, base, req))
+		}
+	}
+	basePC := p50(baseLat)
+
+	// Fast path: one warm-up pass seeds the verdict cache, then every
+	// timed decision is an exact-cache hit.
+	s := benchServer(b, Config{MaxMix: 1, FastPath: true})
+	for _, req := range reqs {
+		decideOnce(b, s, req)
+	}
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lat = append(lat, decideOnce(b, s, reqs[i%len(reqs)]))
+	}
+	b.StopTimer()
+	fast := p50(lat)
+	if fast <= 0 {
+		fast = 1
+	}
+	b.ReportMetric(float64(fast.Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(basePC)/float64(fast), "speedup-x")
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/journal"
+	"repro/internal/perfmodel"
 	"repro/internal/schema"
 	"repro/internal/trace"
 )
@@ -45,6 +46,22 @@ type Config struct {
 	// created on first start and resumed on restart; a journal written
 	// under a different simulator configuration is refused.
 	JournalPath string
+
+	// FastPath enables the tiered decision path (exact verdict cache,
+	// then the analytic model when one is loaded) in front of the what-if
+	// simulation. Off, every decision simulates — the pre-v2 behavior.
+	FastPath bool
+	// Model is the optional tier-2 analytic performance model
+	// (perfmodel.Load). Requires FastPath; its fit must be bound to this
+	// runner's exact simulator configuration, seed and scheme.
+	Model *perfmodel.Model
+	// UncertaintyBand is the model tier's trust margin: a predicted QoS
+	// goal ratio within ±band of 1.0 escapes to simulation (default
+	// DefaultUncertaintyBand).
+	UncertaintyBand float64
+	// VerdictCacheSize bounds the exact verdict cache (default
+	// DefaultVerdictCacheSize).
+	VerdictCacheSize int
 }
 
 // Server is the admission-control daemon. Construct with New, mount
@@ -53,6 +70,7 @@ type Server struct {
 	runner *exp.Runner
 	scheme core.Scheme
 	maxMix int
+	dec    *decider
 
 	store    *jobStore
 	queue    chan *job
@@ -93,11 +111,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
+	dec, err := newDecider(cfg, cfg.Runner.Session())
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		runner:   cfg.Runner,
 		scheme:   cfg.Scheme,
 		maxMix:   cfg.MaxMix,
+		dec:      dec,
 		store:    newJobStore(),
 		queue:    make(chan *job, cfg.QueueDepth),
 		slotFree: make(chan struct{}, 1),
@@ -122,12 +145,25 @@ func New(cfg Config) (*Server, error) {
 // contracts it would now evaluate differently.
 func (s *Server) openJournal(path string) error {
 	sess := s.runner.Session()
+	var modelVersion string
+	if s.dec.model != nil {
+		modelVersion = s.dec.model.Version()
+	}
 	hash, err := journal.Hash(struct {
 		Config core.Config
 		Seed   uint64
 		Scheme string
 		MaxMix int
-	}{sess.Config(), sess.Seed(), s.scheme.Name(), s.maxMix})
+		// The fast-path parameters are part of the decision function: a
+		// daemon restarted with a different cache, model or band could
+		// decide (or explain) the same submission differently, so such a
+		// restart must refuse the log rather than extend it.
+		FastPath        bool
+		ModelVersion    string
+		UncertaintyBand float64
+		CacheSize       int
+	}{sess.Config(), sess.Seed(), s.scheme.Name(), s.maxMix,
+		s.dec.enabled, modelVersion, s.dec.band, s.dec.cacheCap()})
 	if err != nil {
 		return err
 	}
@@ -155,6 +191,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRelease)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/verdicts/stats", s.handleVerdictStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -200,12 +237,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		s.writeErr(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
 	j, err := s.submit(req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobResponse{Schema: schema.Version, Job: j.view()})
@@ -214,7 +251,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, err := s.store.get(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	// ?wait=1 blocks until the job has a verdict (or the client leaves).
@@ -239,7 +276,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	j, err := s.release(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobResponse{Schema: schema.Version, Job: j.view()})
@@ -252,12 +289,12 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.store.get(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, errors.New("server: response writer cannot stream"))
+		s.writeErr(w, errors.New("server: response writer cannot stream"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -298,6 +335,37 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleVerdictStats reports the tiered decision path's behavior:
+// per-tier decision counts and latency EWMAs, cache occupancy, model
+// escapes and batch coalescing. The same counters appear on /metrics.
+func (s *Server) handleVerdictStats(w http.ResponseWriter, _ *http.Request) {
+	resp := verdictStatsResponse{
+		Schema:   schema.Version,
+		FastPath: s.dec.enabled,
+		Tiers:    make(map[string]tierStats, 3),
+	}
+	s.statsMu.Lock()
+	for _, tier := range []string{schema.TierCache, schema.TierModel, schema.TierSim} {
+		resp.Tiers[tier] = tierStats{
+			Decisions:     s.reg.Counter("verdicts_tier_" + tier).Value(),
+			LatencyEWMANs: s.reg.Gauge("latency_ewma_ns_" + tier).Value(),
+		}
+	}
+	resp.CacheMisses = s.reg.Counter("verdict_cache_misses").Value()
+	resp.ModelEscapes = s.reg.Counter("model_escapes").Value()
+	resp.Coalesced = s.reg.Counter("verdicts_coalesced").Value()
+	s.statsMu.Unlock()
+	resp.CacheSize = s.dec.cacheLen()
+	resp.CacheCapacity = s.dec.cacheCap()
+	if s.dec.enabled {
+		resp.UncertaintyBand = s.dec.band
+	}
+	if s.dec.model != nil {
+		resp.ModelVersion = s.dec.model.Version()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics renders the server registry as plain "name value" lines

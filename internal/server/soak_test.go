@@ -14,6 +14,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/schema"
 )
 
 // TestSoakConcurrentAdmission is the daemon's acceptance test: 50
@@ -33,7 +34,7 @@ func TestSoakConcurrentAdmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(Config{Runner: r, MaxMix: 2, QueueDepth: 64})
+	s, err := New(Config{Runner: r, MaxMix: 2, QueueDepth: 64, FastPath: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,41 +125,41 @@ func TestSoakConcurrentAdmission(t *testing.T) {
 		}
 	}
 
-	// Serial replay: re-run every decision's what-if co-run on a fresh
-	// single session (same device, window, seed) and demand the identical
-	// verdict and candidate numbers. This is what makes the daemon's
-	// concurrent answers trustworthy.
+	// Serial replay: re-decide every logged decision through an identical
+	// tiered decider on a fresh single session (same device, window,
+	// seed, fast-path settings) and demand the byte-identical verdict —
+	// decision, deciding tier, reason, every kernel number. This is what
+	// makes the daemon's concurrent fast-path answers trustworthy.
 	sess, err := core.NewSession(sessOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rp, err := NewReplayer(sess, Config{MaxMix: 2, FastPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := map[string]int{}
 	for _, d := range decisions {
 		if d.Verdict == nil {
 			t.Fatalf("decision %d (%s) has no verdict", d.Index, d.JobID)
 		}
-		specs := make([]core.KernelSpec, 0, len(d.Mix)+1)
-		for _, m := range d.Mix {
-			specs = append(specs, m.Spec())
-		}
-		specs = append(specs, d.Candidate.Spec())
-		scheme, err := core.ParseScheme(d.Verdict.Scheme)
-		if err != nil {
-			t.Fatalf("decision %d: %v", d.Index, err)
-		}
-		res, err := sess.Run(context.Background(), specs, scheme)
+		tiers[d.Verdict.Tier]++
+		v, err := rp.Replay(context.Background(), d)
 		if err != nil {
 			t.Fatalf("replay decision %d: %v", d.Index, err)
 		}
-		if res.AllReached != d.Admitted {
-			t.Fatalf("decision %d (%s): served verdict %v, serial replay %v",
-				d.Index, d.JobID, d.Admitted, res.AllReached)
-		}
-		cand := res.Kernels[len(res.Kernels)-1]
-		got := d.Verdict.Candidate
-		if cand.IPC != got.IPC || cand.Reached != got.Reached || cand.GoalIPC != got.GoalIPC {
-			t.Fatalf("decision %d (%s): candidate %+v, replay %+v", d.Index, d.JobID, got, cand)
+		got, _ := json.Marshal(d.Verdict)
+		want, _ := json.Marshal(v)
+		if string(got) != string(want) {
+			t.Fatalf("decision %d (%s):\n served %s\n replay %s", d.Index, d.JobID, got, want)
 		}
 	}
+	// Under 50 clients cycling 20 distinct (workload, goal) submissions
+	// against a MaxMix-2 mix, the exact cache must actually carry load.
+	if tiers[schema.TierCache] == 0 {
+		t.Fatalf("no cache-tier verdicts in soak: %v", tiers)
+	}
+	t.Logf("verdicts by tier: %v", tiers)
 }
 
 // decodeJob decodes and closes a job response.

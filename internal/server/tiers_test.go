@@ -1,0 +1,324 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/perfmodel"
+	"repro/internal/schema"
+	"repro/internal/trace"
+)
+
+// counter reads a server counter (tests run these single-threaded).
+func counter(s *Server, name string) int64 {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.reg.Counter(name).Value()
+}
+
+// TestCacheTierReproducesSimVerdict pins tier 1: an identical
+// resubmission must be answered from the exact verdict cache with the
+// same decision, numbers and reason as the simulation that seeded it —
+// only the tier, confidence and job ids may differ.
+func TestCacheTierReproducesSimVerdict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	s := testServer(t, Config{FastPath: true, MaxMix: 1})
+
+	first := submitWait(t, s, qos("sgemm", 0.5))
+	v1 := first.view().Verdict
+	if v1 == nil || v1.Tier != schema.TierSim || !v1.IsAdmitted() {
+		t.Fatalf("first verdict = %+v, want admitted sim tier", v1)
+	}
+	if v1.Confidence != 1 || v1.EvidenceRef == "" || v1.Decision != schema.DecisionAdmit {
+		t.Fatalf("sim verdict envelope: %+v", v1)
+	}
+	if _, err := s.release(first.id); err != nil {
+		t.Fatal(err)
+	}
+
+	second := submitWait(t, s, qos("sgemm", 0.5))
+	v2 := second.view().Verdict
+	if v2 == nil || v2.Tier != schema.TierCache {
+		t.Fatalf("second verdict = %+v, want cache tier", v2)
+	}
+	if v2.Decision != v1.Decision || v2.Cycles != v1.Cycles || v2.Reason != v1.Reason ||
+		v2.Scheme != v1.Scheme || v2.EvidenceRef != v1.EvidenceRef || v2.Confidence != 1 {
+		t.Fatalf("cache verdict diverges:\n sim   %+v\n cache %+v", v1, v2)
+	}
+	c1, c2 := v1.Candidate, v2.Candidate
+	if c2.JobID != second.id {
+		t.Fatalf("cached candidate job id = %q, want %q", c2.JobID, second.id)
+	}
+	c1.JobID, c2.JobID = "", ""
+	if c1 != c2 {
+		t.Fatalf("cached candidate numbers diverge:\n sim   %+v\n cache %+v", c1, c2)
+	}
+	if n := counter(s, "evaluations"); n != 1 {
+		t.Fatalf("evaluations = %d, want 1 (cache hit must not simulate)", n)
+	}
+	if n := counter(s, "verdicts_tier_sim"); n != 1 {
+		t.Fatalf("verdicts_tier_sim = %d", n)
+	}
+	if n := counter(s, "verdicts_tier_cache"); n != 1 {
+		t.Fatalf("verdicts_tier_cache = %d", n)
+	}
+	if n := counter(s, "verdict_cache_misses"); n != 1 {
+		t.Fatalf("verdict_cache_misses = %d", n)
+	}
+}
+
+// modelFitFor hand-builds a finalized fit bound to sess covering sgemm
+// in isolation only: a lone sgemm submission is model-decidable, any
+// pair escapes.
+func modelFitFor(t *testing.T, sess *core.Session) *perfmodel.Fit {
+	t.Helper()
+	cfgHash, err := perfmodel.ConfigHash(sess.Config(), sess.Seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &perfmodel.Fit{
+		Schema:     perfmodel.FitSchema,
+		ConfigHash: cfgHash,
+		Scheme:     "rollover",
+		Isolated:   map[string]float64{"sgemm": 2.0},
+		Pairs:      map[string][]perfmodel.PairPoint{},
+	}
+	if err := f.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestModelTierDecidesAndEscapes pins tier 2 end to end: a covered mix
+// is decided analytically without touching the simulator, an uncovered
+// mix escapes to simulation, the stats endpoint accounts for both, and
+// a serial Replayer reproduces every verdict (and tier) bit-identically.
+func TestModelTierDecidesAndEscapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	r, err := exp.NewRunner(2, exp.WithSessionOptions(core.WithWindow(30_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := modelFitFor(t, r.Session())
+	model, err := perfmodel.New(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Runner: r, FastPath: true, Model: model, MaxMix: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	// Lone sgemm at goal 0.5: predicted ratio 1/0.5 = 2.0, far outside
+	// any band — the model admits without simulating.
+	j1 := submitWait(t, s, qos("sgemm", 0.5))
+	v1 := j1.view().Verdict
+	if v1 == nil || v1.Tier != schema.TierModel || !v1.IsAdmitted() {
+		t.Fatalf("verdict = %+v, want admitted model tier", v1)
+	}
+	if v1.ModelVersion != fit.Version {
+		t.Fatalf("model version = %q, want %q", v1.ModelVersion, fit.Version)
+	}
+	if v1.Confidence <= 0 || v1.Confidence > 1 {
+		t.Fatalf("model confidence = %v", v1.Confidence)
+	}
+	if n := counter(s, "evaluations"); n != 0 {
+		t.Fatalf("evaluations = %d, want 0 (model tier must not simulate)", n)
+	}
+
+	// lbm is outside the fit: the pair escapes to simulation.
+	j2 := submitWait(t, s, be("lbm"))
+	v2 := j2.view().Verdict
+	if v2 == nil || v2.Tier != schema.TierSim {
+		t.Fatalf("uncovered mix verdict = %+v, want sim tier", v2)
+	}
+	if n := counter(s, "model_escapes"); n != 1 {
+		t.Fatalf("model_escapes = %d", n)
+	}
+	if n := counter(s, "evaluations"); n != 1 {
+		t.Fatalf("evaluations = %d, want 1", n)
+	}
+
+	// The stats endpoint reports the same story.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/verdicts/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st verdictStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Schema != schema.Version || !st.FastPath {
+		t.Fatalf("stats envelope: %+v", st)
+	}
+	if st.Tiers[schema.TierModel].Decisions != 1 || st.Tiers[schema.TierSim].Decisions != 1 {
+		t.Fatalf("tier decisions: %+v", st.Tiers)
+	}
+	if st.Tiers[schema.TierModel].LatencyEWMANs <= 0 {
+		t.Fatalf("model tier latency EWMA not observed: %+v", st.Tiers)
+	}
+	if st.ModelEscapes != 1 || st.ModelVersion != fit.Version {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Both decided verdicts are cached (model verdicts are cached too).
+	if st.CacheSize != 2 || st.CacheCapacity != DefaultVerdictCacheSize {
+		t.Fatalf("cache stats: size=%d cap=%d", st.CacheSize, st.CacheCapacity)
+	}
+
+	// Serial replay through an identical decider reproduces both
+	// verdicts — including the deciding tier — bit for bit.
+	sess, err := core.NewSession(core.WithWindow(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(sess, Config{FastPath: true, Model: model, MaxMix: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range s.Decisions() {
+		rv, err := rp.Replay(context.Background(), d)
+		if err != nil {
+			t.Fatalf("replay %d: %v", d.Index, err)
+		}
+		if d.Kind != "decision" {
+			continue
+		}
+		got, _ := json.Marshal(d.Verdict)
+		want, _ := json.Marshal(rv)
+		if string(got) != string(want) {
+			t.Fatalf("decision %d:\n served %s\n replay %s", d.Index, got, want)
+		}
+	}
+}
+
+// TestNewDeciderValidation pins the fast-path configuration errors: a
+// model without the fast path, a fit bound to a different simulator
+// configuration, and a fit swept under a different scheme are all
+// refused at construction.
+func TestNewDeciderValidation(t *testing.T) {
+	r, err := exp.NewRunner(1, exp.WithSessionOptions(core.WithWindow(30_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := modelFitFor(t, r.Session())
+	model, err := perfmodel.New(fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Runner: r, Model: model}); err == nil {
+		t.Fatal("model without FastPath accepted")
+	}
+
+	foreign := modelFitFor(t, r.Session())
+	foreign.ConfigHash = "0000deadbeef0000"
+	if err := foreign.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := perfmodel.New(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Runner: r, FastPath: true, Model: fm}); err == nil {
+		t.Fatal("model bound to a foreign config accepted")
+	}
+
+	wrongScheme := modelFitFor(t, r.Session())
+	wrongScheme.Scheme = "equal"
+	if err := wrongScheme.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	sm, err := perfmodel.New(wrongScheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Runner: r, FastPath: true, Model: sm}); err == nil {
+		t.Fatal("model swept under a different scheme accepted")
+	}
+}
+
+// TestJournalRefusesFastPathChange: the fast-path parameters are part
+// of the decision function, so a restart that toggles them must refuse
+// the existing journal instead of extending it.
+func TestJournalRefusesFastPathChange(t *testing.T) {
+	path := t.TempDir() + "/jobs.log"
+	s := testServer(t, Config{FastPath: true, JournalPath: path})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := exp.NewRunner(1, exp.WithSessionOptions(core.WithWindow(30_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Runner: r, JournalPath: path}); err == nil {
+		t.Fatal("journal written with FastPath reopened without it")
+	}
+	// The matching configuration still resumes it.
+	s2, err := New(Config{Runner: r, FastPath: true, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryAfterSeconds pins the 429 backoff hint math: the
+// decision-count-weighted EWMA blend scaled by queue depth, with the
+// 1s floor, 600s ceiling, and 1s no-data default.
+func TestRetryAfterSeconds(t *testing.T) {
+	s := &Server{reg: &trace.Registry{}, queue: make(chan *job, 8)}
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("no data: %d, want 1", got)
+	}
+	// One sim decision at 2.5s: ceil(2.5) = 3.
+	s.reg.Counter("verdicts_tier_sim").Add(1)
+	s.reg.Gauge("latency_ewma_ns_sim").Set(2.5e9)
+	if got := s.retryAfterSeconds(); got != 3 {
+		t.Fatalf("sim-only: %d, want 3", got)
+	}
+	// 99 cache hits at 1µs drown the blend below a second: floor at 1.
+	s.reg.Counter("verdicts_tier_cache").Add(99)
+	s.reg.Gauge("latency_ewma_ns_cache").Set(1e3)
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("cache-dominated: %d, want 1", got)
+	}
+	// Absurd latencies clamp at 600.
+	s.reg.Gauge("latency_ewma_ns_sim").Set(1e15)
+	if got := s.retryAfterSeconds(); got != 600 {
+		t.Fatalf("clamp: %d, want 600", got)
+	}
+}
+
+// TestObserveLatencyEWMA pins the smoothing: first observation seeds
+// the gauge, later ones fold in with alpha 0.3.
+func TestObserveLatencyEWMA(t *testing.T) {
+	s := &Server{reg: &trace.Registry{}}
+	s.observeLatency(schema.TierSim, 1000*time.Nanosecond)
+	if got := s.reg.Gauge("latency_ewma_ns_sim").Value(); got != 1000 {
+		t.Fatalf("seed = %v, want 1000", got)
+	}
+	s.observeLatency(schema.TierSim, 2000*time.Nanosecond)
+	if got, want := s.reg.Gauge("latency_ewma_ns_sim").Value(), 0.7*1000+0.3*2000; got != want {
+		t.Fatalf("ewma = %v, want %v", got, want)
+	}
+}
