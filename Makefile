@@ -3,16 +3,17 @@
 # soft-skipped on developer machines without the tool), the race-detector
 # pass over the concurrent packages, the full test suite — which includes
 # the daemon's httptest smoke, the 50-client concurrent-admission soak and
-# the serial-vs-sharded equivalence suite — a trace-emit benchmark smoke,
-# a short fuzz run over the checkpoint-journal decoder, and the
+# the serial-vs-sharded equivalence suite — the race-enabled distributed-
+# sweep chaos suite (`make chaos`), a trace-emit benchmark smoke, short
+# fuzz runs over the checkpoint-journal and sweep-wire decoders, and the
 # simulator-core performance gate against the committed BENCH_core.json
-# baseline (see internal/benchgate; BENCHGATE_HANDICAP=0.6 and
-# BENCHGATE_LAT_HANDICAP=4 inject synthetic regressions to prove both
-# gates trip).
+# baseline (see internal/benchgate; BENCHGATE_HANDICAP=0.6,
+# BENCHGATE_LAT_HANDICAP=4 and BENCHGATE_OVERHEAD_HANDICAP=10 inject
+# synthetic regressions to prove the gates trip).
 
 GO ?= go
 
-.PHONY: all build test bench race fuzz staticcheck bench-trace bench-core bench-json bench-gate ci clean
+.PHONY: all build test bench race chaos fuzz staticcheck bench-trace bench-core bench-json bench-gate ci clean
 
 all: build
 
@@ -44,6 +45,13 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -count=1 -run 'TestShard' .
 
+# Deterministic chaos suite for the distributed sweep: scripted worker
+# kills, dropped/duplicated/delayed result deliveries, blackholed
+# heartbeats forcing lease-expiry races — raced and uncached, asserting
+# byte-identical merges and single-append journals every time.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestSoakKillOne' ./internal/distsweep
+
 # Static analysis beyond vet. On developer machines without the tool the
 # target is skipped; in CI ($CI set) a missing binary is a hard failure so
 # the workflow cannot silently lose the check.
@@ -58,11 +66,13 @@ staticcheck:
 bench-trace:
 	$(GO) test -bench=BenchmarkEmit -benchtime=100x -run='^$$' ./internal/trace
 
-# Simulator-core benchmarks: throughput (serial and sharded stepping)
-# and the admission fast-path latency benchmark (p50-ns / speedup-x).
+# Simulator-core benchmarks: throughput (serial and sharded stepping),
+# the admission fast-path latency benchmark (p50-ns / speedup-x), and
+# the distributed-sweep coordination-tax benchmark (overhead-pct).
 bench-core:
 	$(GO) test -bench='BenchmarkSimulatorCycles' -benchtime=3x -benchmem -count=1 -run='^$$' .
 	$(GO) test -bench='BenchmarkAdmission' -benchtime=200x -benchmem -count=1 -run='^$$' ./internal/server
+	$(GO) test -bench='BenchmarkDistSweepOverhead' -benchtime=5x -benchmem -count=1 -run='^$$' ./internal/distsweep
 
 # Rewrite the committed performance baseline from the current tree. Run
 # on the reference machine, review the diff, and commit BENCH_core.json.
@@ -75,19 +85,23 @@ bench-json:
 bench-gate:
 	$(MAKE) bench-core | $(GO) run ./cmd/benchgate -baseline BENCH_core.json
 
-# Time-boxed fuzz pass over the journal line decoder (crash-recovery
-# parsing of arbitrary bytes).
+# Time-boxed fuzz passes over the decoders that parse bytes from disk or
+# the network: the checkpoint-journal line decoder (crash recovery) and
+# the distributed-sweep wire decoders (lease grants, result reports).
 fuzz:
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=10s
+	$(GO) test ./internal/distsweep -run='^$$' -fuzz=FuzzLeaseDecode -fuzztime=10s
 
 ci:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(MAKE) race
+	$(MAKE) chaos
 	$(GO) test ./...
 	$(GO) test -run 'TestEndpointsSmoke|TestAdmissionTable' -count=1 ./internal/server
 	$(MAKE) bench-trace
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=10s
+	$(GO) test ./internal/distsweep -run='^$$' -fuzz=FuzzLeaseDecode -fuzztime=10s
 	$(MAKE) bench-gate
 
 clean:

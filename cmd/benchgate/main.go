@@ -8,15 +8,18 @@
 //	go test -bench 'BenchmarkSimulatorCycles' -benchmem -run '^$' . \
 //	    | benchgate -baseline BENCH_core.json       # gate (exit 1 on fail)
 //
-// Two kinds of benchmark are gated. Throughput benchmarks (cycles/s)
+// Three kinds of benchmark are gated. Throughput benchmarks (cycles/s)
 // fail when throughput drops more than -tol (default 10%, override with
 // BENCHGATE_TOL) below baseline or allocs/op rises above it. Latency
 // benchmarks (p50-ns, speedup-x — e.g. BenchmarkAdmission) fail when the
 // median latency rises more than -lat-tol (default 50%, override with
 // BENCHGATE_LAT_TOL) above baseline or the speedup falls below the
-// absolute benchgate.MinSpeedupX floor. BENCHGATE_HANDICAP=0.6 and
-// BENCHGATE_LAT_HANDICAP=4 inject synthetic regressions so both
-// tripwires can be tested end to end.
+// absolute benchgate.MinSpeedupX floor. Overhead benchmarks
+// (overhead-pct — e.g. BenchmarkDistSweepOverhead) fail when the
+// slowdown over their in-run reference exceeds the absolute
+// benchgate.MaxOverheadPct ceiling. BENCHGATE_HANDICAP=0.6,
+// BENCHGATE_LAT_HANDICAP=4 and BENCHGATE_OVERHEAD_HANDICAP=10 inject
+// synthetic regressions so every tripwire can be tested end to end.
 package main
 
 import (
@@ -66,7 +69,7 @@ func run(update bool, out, baseline string, tol, latTol float64, window int64) e
 		return err
 	}
 	if len(entries) == 0 {
-		return fmt.Errorf("no gated benchmarks on stdin (need a cycles/s or p50-ns metric; was -bench filtered correctly?)")
+		return fmt.Errorf("no gated benchmarks on stdin (need a cycles/s, p50-ns or overhead-pct metric; was -bench filtered correctly?)")
 	}
 	cur := &benchgate.File{
 		Schema:       benchgate.Schema,
@@ -108,10 +111,23 @@ func run(update bool, out, baseline string, tol, latTol float64, window int64) e
 		fmt.Printf("benchgate: applying synthetic %.0f%% latency handicap\n", 100*latHandicap)
 	}
 	benchgate.ApplyLatencyHandicap(cur, latHandicap)
+	overheadHandicap, err := envFloat("BENCHGATE_OVERHEAD_HANDICAP", 0)
+	if err != nil {
+		return err
+	}
+	if overheadHandicap > 0 {
+		fmt.Printf("benchgate: applying synthetic +%.0fpt overhead handicap\n", overheadHandicap)
+	}
+	benchgate.ApplyOverheadHandicap(cur, overheadHandicap)
 	for _, e := range cur.Benchmarks {
 		if e.Kind == benchgate.KindLatency {
 			fmt.Printf("benchgate: %-24s %12.0f p50-ns    %8.1f speedup-x\n",
 				e.Name, e.P50Ns, e.SpeedupX)
+			continue
+		}
+		if e.Kind == benchgate.KindOverhead {
+			fmt.Printf("benchgate: %-24s %12.1f overhead-pct (ceiling %.0f)\n",
+				e.Name, e.OverheadPct, benchgate.MaxOverheadPct)
 			continue
 		}
 		fmt.Printf("benchgate: %-24s %12.0f cycles/s  %6d allocs/op\n",

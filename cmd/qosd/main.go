@@ -67,6 +67,7 @@ type options struct {
 	modelPath   string
 	uncertainty float64
 	cacheSize   int
+	stallAfter  time.Duration
 }
 
 func main() {
@@ -86,6 +87,7 @@ func main() {
 	flag.StringVar(&o.modelPath, "model", "", "analytic performance-model fit (from `sweep -fit`); requires -fast-path")
 	flag.Float64Var(&o.uncertainty, "uncertainty", server.DefaultUncertaintyBand, "model trust margin: goal ratios within ±band of 1.0 escape to simulation")
 	flag.IntVar(&o.cacheSize, "verdict-cache", server.DefaultVerdictCacheSize, "exact verdict cache capacity")
+	flag.DurationVar(&o.stallAfter, "stall-after", server.DefaultStallAfter, "decision-loop liveness threshold: /healthz reports decision_loop_stalled (503) when one decision is in flight longer than this")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -133,6 +135,7 @@ func run(o options) error {
 		Model:            model,
 		UncertaintyBand:  o.uncertainty,
 		VerdictCacheSize: o.cacheSize,
+		StallAfter:       o.stallAfter,
 	})
 	if err != nil {
 		return err

@@ -20,6 +20,14 @@
 //	sweep -mode pairs -journal pairs.ckpt            # checkpoint as it goes
 //	sweep -mode pairs -journal pairs.ckpt -resume    # pick up after a crash
 //	sweep -mode pairs -schemes rollover -fit fit.json  # also emit a qosd model fit
+//	sweep -worker http://host:9121                   # join a sweepd coordinator
+//
+// With -worker the process becomes a distributed sweep worker: it
+// fetches the sweep spec from a sweepd coordinator, executes leased
+// case ranges on the local pool, and streams results back. The grid,
+// scheme and output then belong to the coordinator; local grid flags
+// are ignored, while -workers, -shards, -case-timeout, -retries and
+// -retry-backoff still shape local execution.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -39,6 +48,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/distsweep"
 	"repro/internal/exp"
 	"repro/internal/journal"
 	"repro/internal/retry"
@@ -67,6 +77,8 @@ type options struct {
 	pprofAddr   string
 	shards      int
 	fitPath     string
+	workerAddr  string
+	workerName  string
 }
 
 func main() {
@@ -90,6 +102,8 @@ func main() {
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.IntVar(&o.shards, "shards", 1, "step the SMs in this many parallel shards per run (bit-identical to -shards=1)")
 	flag.StringVar(&o.fitPath, "fit", "", "distill the pair sweep into a qosd performance-model fit at this path (pairs mode, exactly one scheme)")
+	flag.StringVar(&o.workerAddr, "worker", "", "run as a distributed worker against this sweepd coordinator URL")
+	flag.StringVar(&o.workerName, "worker-name", "", "worker name reported to the coordinator (default sweep-<pid>)")
 	flag.Parse()
 
 	if o.pprofAddr != "" {
@@ -185,7 +199,68 @@ func faultPolicy(o options, j *journal.Journal, seed uint64) exp.FaultPolicy {
 	}
 }
 
+// runWorker joins a sweepd coordinator: the spec (grid, scheme, device,
+// window, seed) comes from the coordinator so every worker simulates
+// identical cases; local flags only shape how this process executes
+// them. The journal stays coordinator-side — a worker is stateless and
+// safe to kill at any point.
+func runWorker(ctx context.Context, o options) error {
+	pol := retry.Policy{
+		MaxAttempts: o.retries + 4,
+		BaseDelay:   o.backoff,
+		MaxDelay:    5 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Seed:        workloads.Seed,
+	}
+	spec, stage, err := distsweep.FetchSpec(ctx, nil, o.workerAddr, pol)
+	if err != nil {
+		return fmt.Errorf("fetch spec from %s: %w", o.workerAddr, err)
+	}
+	name := o.workerName
+	if name == "" {
+		name = fmt.Sprintf("sweep-%d", os.Getpid())
+	}
+	fmt.Fprintf(os.Stderr, "sweep: worker %s joining %s: %s stage %s, %d cases\n",
+		name, o.workerAddr, spec.Mode, stage, spec.Total())
+	sessOpts := append(spec.SessionOptions(), core.WithShards(o.shards))
+	runner, err := exp.NewRunner(o.workers,
+		exp.WithSessionOptions(sessOpts...),
+		exp.WithFaultPolicy(exp.FaultPolicy{
+			FailFast:    o.failFast,
+			CaseTimeout: o.caseTimeout,
+			Retry: retry.Policy{
+				MaxAttempts: o.retries + 1,
+				BaseDelay:   o.backoff,
+				Seed:        workloads.Seed,
+			},
+		}))
+	if err != nil {
+		return err
+	}
+	w, err := distsweep.NewWorker(distsweep.WorkerConfig{
+		Addr:   o.workerAddr,
+		Name:   name,
+		Runner: runner,
+		Spec:   spec,
+		Retry:  pol,
+		Trace:  o.traceDir != "",
+		Log:    log.New(os.Stderr, "sweep: ", 0),
+	})
+	if err != nil {
+		return err
+	}
+	err = w.Run(ctx)
+	st := w.Stats()
+	fmt.Fprintf(os.Stderr, "sweep: worker %s: %d leases, %d cases run, %d delivered, %d failed, %d dup, %d hb misses, %d degraded flushes\n",
+		name, st.Leases, st.CasesRun, st.CasesDelivered, st.CasesFailed, st.Duplicates, st.HeartbeatMisses, st.DegradedFlushes)
+	return err
+}
+
 func run(ctx context.Context, o options) error {
+	if o.workerAddr != "" {
+		return runWorker(ctx, o)
+	}
 	schemes, err := parseSchemes(o.schemes)
 	if err != nil {
 		return err
@@ -256,8 +331,7 @@ func run(ctx context.Context, o options) error {
 				pairs = append(pairs, p)
 			}
 		}
-		w.Write([]string{"scheme", "qos", "nonqos", "class", "goal", "reached",
-			"qos_ipc", "qos_goal_ipc", "goal_ratio", "nonqos_norm_tput", "instr_per_watt"})
+		w.Write(exp.PairCSVHeader())
 		for _, sc := range schemes {
 			cases, err := runner.PairSweep(ctx, pairs, goals, sc, progress)
 			if ok, err := partial(err); !ok {
@@ -278,18 +352,7 @@ func run(ctx context.Context, o options) error {
 				if c.Res == nil {
 					continue // failed case; reported above
 				}
-				q, nq := c.QoSKernel(), c.NonQoSKernel()
-				cls, _ := workloads.PairClass(c.Pair.QoS, c.Pair.NonQoS)
-				w.Write([]string{
-					sc.Name(), c.Pair.QoS, c.Pair.NonQoS, cls,
-					fmt.Sprintf("%.2f", c.Goal),
-					fmt.Sprint(c.Res.AllReached),
-					fmt.Sprintf("%.2f", q.IPC),
-					fmt.Sprintf("%.2f", q.GoalIPC),
-					fmt.Sprintf("%.4f", q.GoalRatio),
-					fmt.Sprintf("%.4f", nq.NormThroughput),
-					fmt.Sprintf("%.3e", c.Res.Power.InstrPerWatt),
-				})
+				w.Write(exp.PairCSVRow(c))
 			}
 			w.Flush()
 		}
@@ -300,8 +363,7 @@ func run(ctx context.Context, o options) error {
 				trios = append(trios, tr)
 			}
 		}
-		w.Write([]string{"scheme", "a", "b", "c", "nqos", "goal", "reached",
-			"ratio_a", "ratio_b", "nonqos_norm_tput"})
+		w.Write(exp.TrioCSVHeader())
 		for _, sc := range schemes {
 			cases, err := runner.TrioSweep(ctx, trios, goals, o.nQoS, sc, progress)
 			if ok, err := partial(err); !ok {
@@ -311,30 +373,7 @@ func run(ctx context.Context, o options) error {
 				if c.Res == nil {
 					continue // failed case; reported above
 				}
-				ratioB := ""
-				if o.nQoS == 2 {
-					ratioB = fmt.Sprintf("%.4f", c.Res.Kernels[1].GoalRatio)
-				}
-				var nqNorm float64
-				var nqCount int
-				for _, k := range c.Res.Kernels {
-					if !k.IsQoS {
-						nqNorm += k.NormThroughput
-						nqCount++
-					}
-				}
-				if nqCount > 0 {
-					nqNorm /= float64(nqCount)
-				}
-				w.Write([]string{
-					sc.Name(), c.Trio.A, c.Trio.B, c.Trio.C,
-					fmt.Sprint(o.nQoS),
-					fmt.Sprintf("%.2f", c.QoSGoals[0]),
-					fmt.Sprint(c.Res.AllReached),
-					fmt.Sprintf("%.4f", c.Res.Kernels[0].GoalRatio),
-					ratioB,
-					fmt.Sprintf("%.4f", nqNorm),
-				})
+				w.Write(exp.TrioCSVRow(c, o.nQoS))
 			}
 			w.Flush()
 		}

@@ -1,0 +1,240 @@
+// Command sweepd coordinates a distributed sweep: it owns the case grid
+// and the crash-safe checkpoint journal, and leases contiguous case
+// ranges over HTTP to `sweep -worker` processes, which execute them and
+// stream results back. The journal format and stage keys are identical
+// to a local `sweep -journal` run, so a sweep can move freely between
+// local and distributed execution (and between coordinator restarts)
+// without re-running completed cases.
+//
+// Fault tolerance: a worker that stops heartbeating loses its lease and
+// the unfinished cases are re-issued; committed cases are never
+// re-leased. Result delivery is idempotent by case index, so workers
+// that outlive their lease (network partition, slow batch) can still
+// deliver. The merged CSV is written in deterministic grid order —
+// bit-identical to a serial in-process run regardless of how many
+// workers took part or how they failed.
+//
+// SIGTERM/SIGINT drains gracefully: lease grants stop, in-flight result
+// deliveries are still accepted, then the listener closes. The journal
+// keeps the completed prefix; rerun sweepd with -resume to continue.
+//
+// Usage:
+//
+//	sweepd -addr :9121 -mode pairs -scheme rollover -journal pairs.ckpt
+//	sweep -worker http://host:9121       # on each worker machine
+//	curl -s host:9121/v1/state           # progress
+//
+// When every case is committed (or permanently failed) the coordinator
+// writes the merged CSV to -out (default stdout) and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/distsweep"
+	"repro/internal/exp"
+	"repro/internal/workloads"
+)
+
+// options carries the parsed command line.
+type options struct {
+	addr        string
+	mode        string
+	nQoS        int
+	scheme      string
+	window      int64
+	subsample   int
+	goals       string
+	scale       bool
+	journalPath string
+	resume      bool
+	leaseCases  int
+	leaseTTL    time.Duration
+	maxLeases   int
+	drainWait   time.Duration
+	outPath     string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "localhost:9121", "listen address")
+	flag.StringVar(&o.mode, "mode", "pairs", "pairs|trios")
+	flag.IntVar(&o.nQoS, "nqos", 1, "QoS kernels per trio (trios mode)")
+	flag.StringVar(&o.scheme, "scheme", "rollover", "QoS scheme (one per coordinator; run several for several schemes)")
+	flag.Int64Var(&o.window, "window", 200_000, "measurement window in cycles")
+	flag.IntVar(&o.subsample, "subsample", 1, "take every k-th pair/trio")
+	flag.StringVar(&o.goals, "goals", "", "comma-separated goal fractions (default: paper sweep)")
+	flag.BoolVar(&o.scale, "scale56", false, "use the 56-SM configuration")
+	flag.StringVar(&o.journalPath, "journal", "", "checkpoint journal file (required for durability)")
+	flag.BoolVar(&o.resume, "resume", false, "resume a journal that already has results for this grid")
+	flag.IntVar(&o.leaseCases, "lease-cases", distsweep.DefaultLeaseCases, "cases per lease")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", distsweep.DefaultLeaseTTL, "heartbeat deadline before a lease is re-issued")
+	flag.IntVar(&o.maxLeases, "max-leases", distsweep.DefaultMaxLeases, "outstanding lease bound before 429")
+	flag.DurationVar(&o.drainWait, "drain-wait", 30*time.Second, "graceful drain budget on SIGTERM")
+	flag.StringVar(&o.outPath, "out", "", "merged CSV path on completion (default stdout)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+func parseGoals(s string, def []float64) ([]float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// buildSpec assembles the sweep spec from the same grid sources the
+// local front end uses, so a sweepd grid is the sweep grid.
+func buildSpec(o options) (distsweep.Spec, error) {
+	def := exp.Goals()
+	if o.mode == distsweep.ModeTrios && o.nQoS == 2 {
+		def = exp.TwoQoSGoals()
+	}
+	goals, err := parseGoals(o.goals, def)
+	if err != nil {
+		return distsweep.Spec{}, err
+	}
+	cfg := config.Base()
+	if o.scale {
+		cfg = config.Scale56()
+	}
+	if o.subsample < 1 {
+		o.subsample = 1
+	}
+	sp := distsweep.Spec{
+		Mode:   o.mode,
+		Goals:  goals,
+		NQoS:   o.nQoS,
+		Scheme: o.scheme,
+		GPU:    cfg,
+		Window: o.window,
+		Seed:   workloads.Seed,
+	}
+	switch o.mode {
+	case distsweep.ModePairs:
+		for i, p := range workloads.Pairs() {
+			if i%o.subsample == 0 {
+				sp.Pairs = append(sp.Pairs, p)
+			}
+		}
+	case distsweep.ModeTrios:
+		for i, t := range workloads.Trios() {
+			if i%o.subsample == 0 {
+				sp.Trios = append(sp.Trios, t)
+			}
+		}
+	}
+	return sp, sp.Validate()
+}
+
+func run(o options) error {
+	if _, err := core.ParseScheme(o.scheme); err != nil {
+		return err
+	}
+	spec, err := buildSpec(o)
+	if err != nil {
+		return err
+	}
+	coord, err := distsweep.New(distsweep.Config{
+		Spec:       spec,
+		Journal:    o.journalPath,
+		Resume:     o.resume,
+		LeaseCases: o.leaseCases,
+		LeaseTTL:   o.leaseTTL,
+		MaxLeases:  o.maxLeases,
+		Log:        log.New(os.Stderr, "sweepd: ", 0),
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	hs := &http.Server{Addr: o.addr, Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "sweepd: serving on %s (%s, scheme %s, %d cases, lease %d cases / %s ttl)\n",
+			o.addr, o.mode, o.scheme, spec.Total(), o.leaseCases, o.leaseTTL)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	finished := false
+	select {
+	case err := <-errCh:
+		return err
+	case <-coord.Done():
+		finished = true
+	case <-ctx.Done():
+	}
+
+	if !finished {
+		fmt.Fprintln(os.Stderr, "sweepd: draining (in-flight results still accepted; journal keeps progress)")
+	} else {
+		// Linger a few worker poll intervals with the listener up so
+		// workers observe Done on their next lease request and exit
+		// cleanly, instead of finding a closed port and burning their
+		// idle-poll budget on a sweep that actually finished.
+		time.Sleep(3 * distsweep.DefaultPollInterval)
+	}
+	coord.Drain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainWait)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+
+	if !finished {
+		st := coord.State()
+		fmt.Fprintf(os.Stderr, "sweepd: drained at %d/%d committed; rerun with -resume to continue\n", st.Committed, st.Total)
+		return nil
+	}
+
+	out := os.Stdout
+	if o.outPath != "" {
+		f, err := os.Create(o.outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := coord.WriteCSV(out); err != nil {
+		return err
+	}
+	if failed := coord.FailedCases(); len(failed) > 0 {
+		for i, msg := range failed {
+			fmt.Fprintf(os.Stderr, "sweepd: case %d (%s) failed permanently: %s\n", i, spec.Describe(i), msg)
+		}
+		return fmt.Errorf("%d case(s) failed; completed rows were emitted", len(failed))
+	}
+	st := coord.State()
+	fmt.Fprintf(os.Stderr, "sweepd: complete: %d cases, %d leases expired, %d orphan reports\n",
+		st.Total, st.Expired, st.Orphans)
+	return nil
+}

@@ -6,11 +6,16 @@
 //     allocations rise above it, fails;
 //   - latency ("p50-ns", "speedup-x"): a run whose median latency rises
 //     above the baseline ceiling, or whose speedup over its in-benchmark
-//     reference falls below the absolute MinSpeedupX floor, fails.
+//     reference falls below the absolute MinSpeedupX floor, fails;
+//   - overhead ("overhead-pct"): a run whose relative slowdown over its
+//     in-benchmark reference path exceeds the absolute MaxOverheadPct
+//     ceiling fails (e.g. the distributed-sweep coordination tax over an
+//     in-process run of the same grid).
 //
 // Baselines are recorded on the slowest reference machine so faster CI
 // runners clear throughput floors and latency ceilings with margin;
-// allocs/op and speedup-x are machine-independent and gated tightly.
+// allocs/op, speedup-x and overhead-pct are machine-independent (ratios
+// of same-machine measurements) and gated tightly.
 package benchgate
 
 import (
@@ -24,12 +29,15 @@ import (
 	"strings"
 )
 
-// Schema identifies the baseline file format. v2 added latency-kind
-// entries; v1 files (throughput only) still load.
-const Schema = "benchgate/v2"
+// Schema identifies the baseline file format. v3 added overhead-kind
+// entries; v2 added latency; older files still load.
+const Schema = "benchgate/v3"
 
-// schemaV1 is the previous, throughput-only format, accepted on load.
-const schemaV1 = "benchgate/v1"
+// Prior formats, accepted on load.
+const (
+	schemaV1 = "benchgate/v1" // throughput only
+	schemaV2 = "benchgate/v2" // + latency entries
+)
 
 // Entry kinds.
 const (
@@ -37,6 +45,8 @@ const (
 	KindThroughput = "throughput"
 	// KindLatency gates a p50-ns ceiling and a speedup-x floor.
 	KindLatency = "latency"
+	// KindOverhead gates an overhead-pct ceiling (MaxOverheadPct).
+	KindOverhead = "overhead"
 )
 
 // Entry records one benchmark's gated metrics.
@@ -62,6 +72,10 @@ type Entry struct {
 	// in-run reference path (latency entries); being a ratio of two
 	// same-machine measurements it is machine-independent.
 	SpeedupX float64 `json:"speedup_x,omitempty"`
+	// OverheadPct is the percentage slowdown over the benchmark's own
+	// in-run reference path (overhead entries) — machine-independent for
+	// the same reason SpeedupX is.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 // File is the committed baseline (BENCH_core.json).
@@ -92,7 +106,7 @@ func Parse(r io.Reader) ([]Entry, error) {
 			continue
 		}
 		e := Entry{Name: normalize(f[0]), AllocsPerOp: -1}
-		hasCycles, hasP50 := false, false
+		hasCycles, hasP50, hasOverhead := false, false, false
 		// After the name and iteration count the line is value/unit
 		// pairs: `1234 ns/op  330000 cycles/s  2024 allocs/op`.
 		for i := 2; i+1 < len(f); i += 2 {
@@ -111,13 +125,23 @@ func Parse(r io.Reader) ([]Entry, error) {
 				hasP50 = true
 			case "speedup-x":
 				e.SpeedupX = v
+			case "overhead-pct":
+				e.OverheadPct = v
+				hasOverhead = true
 			case "allocs/op":
 				e.AllocsPerOp = int64(v)
 			}
 		}
+		kinds := 0
+		for _, h := range []bool{hasCycles, hasP50, hasOverhead} {
+			if h {
+				kinds++
+			}
+		}
+		if kinds > 1 {
+			return nil, fmt.Errorf("benchgate: %s reports more than one of cycles/s, p50-ns and overhead-pct", e.Name)
+		}
 		switch {
-		case hasCycles && hasP50:
-			return nil, fmt.Errorf("benchgate: %s reports both cycles/s and p50-ns", e.Name)
 		case hasCycles:
 			if e.AllocsPerOp < 0 {
 				return nil, fmt.Errorf("benchgate: %s reports no allocs/op; run with -benchmem", e.Name)
@@ -125,6 +149,11 @@ func Parse(r io.Reader) ([]Entry, error) {
 			e.Kind = KindThroughput
 		case hasP50:
 			e.Kind = KindLatency
+			if e.AllocsPerOp < 0 {
+				e.AllocsPerOp = 0
+			}
+		case hasOverhead:
+			e.Kind = KindOverhead
 			if e.AllocsPerOp < 0 {
 				e.AllocsPerOp = 0
 			}
@@ -161,7 +190,7 @@ func Load(path string) (*File, error) {
 	if err := json.Unmarshal(b, &f); err != nil {
 		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
 	}
-	if f.Schema != Schema && f.Schema != schemaV1 {
+	if f.Schema != Schema && f.Schema != schemaV1 && f.Schema != schemaV2 {
 		return nil, fmt.Errorf("benchgate: %s: schema %q, want %q", path, f.Schema, Schema)
 	}
 	// v1 files predate entry kinds; everything they gate is throughput.
@@ -195,6 +224,12 @@ const AllocSlackFrac = 0.05
 // reference (the issue's ≥50× admission fast-path requirement).
 const MinSpeedupX = 50.0
 
+// MaxOverheadPct is the absolute ceiling on every overhead benchmark's
+// overhead-pct metric, independent of the committed baseline: the
+// distributed sweep path must stay within 5% of the in-process runner's
+// cases/s on the same grid.
+const MaxOverheadPct = 5.0
+
 // Compare gates cur against base: each baseline benchmark must be
 // present and within limits. tolFrac is the allowed fractional
 // throughput drop for throughput entries (e.g. 0.10); latTolFrac is the
@@ -213,6 +248,14 @@ func Compare(base, cur *File, tolFrac, latTolFrac float64) []string {
 		c, ok := curByName[b.Name]
 		if !ok {
 			bad = append(bad, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		if b.Kind == KindOverhead {
+			if c.OverheadPct > MaxOverheadPct {
+				bad = append(bad, fmt.Sprintf(
+					"%s: overhead %.1f%% exceeds the %.0f%% ceiling",
+					b.Name, c.OverheadPct, MaxOverheadPct))
+			}
 			continue
 		}
 		if b.Kind == KindLatency {
@@ -251,10 +294,26 @@ func ApplyHandicap(f *File, frac float64) {
 		return
 	}
 	for i := range f.Benchmarks {
-		if f.Benchmarks[i].Kind == KindLatency {
+		if f.Benchmarks[i].Kind != KindThroughput {
 			continue
 		}
 		f.Benchmarks[i].CyclesPerSec *= 1 - frac
+	}
+}
+
+// ApplyOverheadHandicap injects a synthetic coordination-tax regression:
+// every overhead benchmark's overhead-pct is raised by pts percentage
+// points, so BENCHGATE_OVERHEAD_HANDICAP can prove the overhead gate
+// trips. pts <= 0 is a no-op.
+func ApplyOverheadHandicap(f *File, pts float64) {
+	if pts <= 0 {
+		return
+	}
+	for i := range f.Benchmarks {
+		if f.Benchmarks[i].Kind != KindOverhead {
+			continue
+		}
+		f.Benchmarks[i].OverheadPct += pts
 	}
 }
 

@@ -14,6 +14,7 @@ BenchmarkTable01Parameters-4         	     100	    120000 ns/op
 BenchmarkSimulatorCycles-4           	       5	 160000000 ns/op	    312500 cycles/s	  606844 B/op	    2024 allocs/op
 BenchmarkSimulatorCyclesSharded-4    	       5	 170000000 ns/op	    294117 cycles/s	  655360 B/op	    2200 allocs/op
 BenchmarkAdmission-4                 	    1000	      8000 ns/op	      5200 p50-ns	      9800 speedup-x	    4402 B/op	      43 allocs/op
+BenchmarkDistSweepOverhead-4         	       5	 510000000 ns/op	        23.04 cases/s	         4.2 overhead-pct	 7712544 B/op	   12202 allocs/op
 PASS
 ok  	repro	12.3s
 `
@@ -25,6 +26,7 @@ func TestParse(t *testing.T) {
 	}
 	want := []Entry{
 		{Name: "Admission", Kind: KindLatency, P50Ns: 5200, SpeedupX: 9800, AllocsPerOp: 43, NsPerOp: 8000},
+		{Name: "DistSweepOverhead", Kind: KindOverhead, OverheadPct: 4.2, AllocsPerOp: 12202, NsPerOp: 510000000},
 		{Name: "SimulatorCycles", Kind: KindThroughput, CyclesPerSec: 312500, AllocsPerOp: 2024, NsPerOp: 160000000},
 		{Name: "SimulatorCyclesSharded", Kind: KindThroughput, CyclesPerSec: 294117, AllocsPerOp: 2200, NsPerOp: 170000000},
 	}
@@ -60,6 +62,7 @@ func baseFile() *File {
 		Benchmarks: []Entry{
 			{Name: "Admission", Kind: KindLatency, P50Ns: 5000, SpeedupX: 9000, AllocsPerOp: 43, NsPerOp: 8000},
 			{Name: "SimulatorCycles", Kind: KindThroughput, CyclesPerSec: 300_000, AllocsPerOp: 2000, NsPerOp: 1e8},
+			{Name: "DistSweepOverhead", Kind: KindOverhead, OverheadPct: 3.0, AllocsPerOp: 12000, NsPerOp: 5e8},
 		},
 	}
 }
@@ -80,7 +83,7 @@ func TestCompare(t *testing.T) {
 			f.Benchmarks[1].CyclesPerSec = 100_000
 			f.Benchmarks[1].AllocsPerOp = 9984
 		}, 2},
-		{"benchmark vanished", func(f *File) { f.Benchmarks = f.Benchmarks[:1] }, 1},
+		{"benchmark vanished", func(f *File) { f.Benchmarks = f.Benchmarks[:2] }, 1},
 		// Latency entries: p50 is gated against a ceiling, speedup
 		// against the absolute MinSpeedupX floor; allocs are not gated.
 		{"lower latency is fine", func(f *File) { f.Benchmarks[0].P50Ns = 900 }, 0},
@@ -93,6 +96,12 @@ func TestCompare(t *testing.T) {
 			f.Benchmarks[0].P50Ns = 1e6
 			f.Benchmarks[0].SpeedupX = 2
 		}, 2},
+		// Overhead entries: gated against the absolute MaxOverheadPct
+		// ceiling only; the baseline value and allocs are informational.
+		{"overhead below ceiling", func(f *File) { f.Benchmarks[2].OverheadPct = 4.9 }, 0},
+		{"overhead above ceiling", func(f *File) { f.Benchmarks[2].OverheadPct = 5.1 }, 1},
+		{"zero overhead is fine", func(f *File) { f.Benchmarks[2].OverheadPct = 0 }, 0},
+		{"overhead allocs not gated", func(f *File) { f.Benchmarks[2].AllocsPerOp = 90_000 }, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -141,6 +150,26 @@ func TestApplyLatencyHandicapTripsGate(t *testing.T) {
 	ApplyLatencyHandicap(unhit, 0)
 	if !reflect.DeepEqual(unhit, baseFile()) {
 		t.Fatal("zero latency handicap mutated the file")
+	}
+}
+
+// TestApplyOverheadHandicapTripsGate proves the coordination-tax
+// tripwire: synthetic overhead points pushed past the absolute ceiling
+// must fail the gate, and only overhead entries may be touched.
+func TestApplyOverheadHandicapTripsGate(t *testing.T) {
+	cur := baseFile()
+	ApplyOverheadHandicap(cur, 10)
+	bad := Compare(baseFile(), cur, 0.10, 0.50)
+	if len(bad) != 1 || !strings.Contains(bad[0], "overhead") {
+		t.Fatalf("+10pt overhead handicap against the %.0f%% ceiling produced %v, want 1 overhead violation", MaxOverheadPct, bad)
+	}
+	if cur.Benchmarks[0] != baseFile().Benchmarks[0] || cur.Benchmarks[1] != baseFile().Benchmarks[1] {
+		t.Fatal("overhead handicap mutated a non-overhead entry")
+	}
+	unhit := baseFile()
+	ApplyOverheadHandicap(unhit, 0)
+	if !reflect.DeepEqual(unhit, baseFile()) {
+		t.Fatal("zero overhead handicap mutated the file")
 	}
 }
 

@@ -1,0 +1,87 @@
+package distsweep
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+// BenchmarkDistSweepOverhead measures the coordination tax: the same
+// grid swept once in-process on a bare Runner and once through a real
+// coordinator + one worker over loopback HTTP (leases, heartbeats,
+// CRC-sealed result batches, merge). The reported overhead-pct metric —
+// how much slower the distributed sweep's cases/s is than the local
+// run's — is gated by benchgate at an absolute ceiling
+// (MaxOverheadPct): being a ratio of two same-machine measurements it
+// is machine-independent, like speedup-x. Simulation dominates both
+// sides, so the control plane must stay in the noise.
+func BenchmarkDistSweepOverhead(b *testing.B) {
+	spec := chaosSpec()
+	ctx := context.Background()
+	var localTotal, distTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		// Local reference: every case on one pooled session, serially —
+		// the exact work the distributed path schedules.
+		lr, err := exp.NewRunner(1, exp.WithSessionOptions(spec.SessionOptions()...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		for c := 0; c < spec.Total(); c++ {
+			ci := c
+			err := lr.Do(ctx, uint64(ci), func(ctx context.Context, s *core.Session) error {
+				_, _, rerr := spec.RunCase(ctx, s, ci)
+				return rerr
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		localTotal += time.Since(t0)
+
+		// Distributed: coordinator + one worker over loopback.
+		coord, err := New(Config{Spec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(coord.Handler())
+		wr, err := exp.NewRunner(1, exp.WithSessionOptions(spec.SessionOptions()...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := NewWorker(WorkerConfig{
+			Addr: ts.URL, Name: "bench", Runner: wr, Spec: spec,
+			// Flush whole leases: a real sweep's batches amortize the
+			// report round trip the same way.
+			FlushCases: spec.Total(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if err := w.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-coord.Done():
+		case <-time.After(time.Minute):
+			b.Fatal("coordinator never completed")
+		}
+		distTotal += time.Since(t1)
+		if _, err := coord.MergedPairs(); err != nil {
+			b.Fatal(err)
+		}
+		ts.Close()
+		coord.Close()
+	}
+	overhead := 100 * (distTotal.Seconds()/localTotal.Seconds() - 1)
+	if overhead < 0 {
+		overhead = 0
+	}
+	b.ReportMetric(overhead, "overhead-pct")
+	b.ReportMetric(float64(spec.Total())*float64(b.N)/distTotal.Seconds(), "cases/s")
+}

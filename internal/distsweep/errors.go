@@ -1,0 +1,56 @@
+package distsweep
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/journal"
+	"repro/internal/schema"
+)
+
+// Sentinels of the distribution layer. Together with the journal and
+// schema sentinels they form the coordinator's error taxonomy;
+// httpStatus is the single place any of them becomes a status code,
+// mirroring the qosd serving layer.
+var (
+	// ErrDraining rejects new leases because the coordinator is
+	// shutting down. Reports are still accepted while draining so
+	// in-flight work lands in the journal.
+	ErrDraining = errors.New("distsweep: draining")
+	// ErrBusy rejects a lease request because the coordinator is at its
+	// bound on outstanding leases. Clients should back off (429 +
+	// Retry-After).
+	ErrBusy = errors.New("distsweep: too many outstanding leases")
+	// ErrUnknownLease is returned for lease ids the coordinator never
+	// issued (heartbeat only; result delivery tolerates unknown leases
+	// because completed work is still worth committing).
+	ErrUnknownLease = errors.New("distsweep: unknown lease")
+	// ErrBadRequest wraps request validation failures (malformed JSON,
+	// CRC mismatches, out-of-grid indices).
+	ErrBadRequest = errors.New("distsweep: bad request")
+)
+
+// httpStatus maps every error the coordinator can surface to its HTTP
+// status code — the only place errors become codes; handlers must not
+// hand-pick them.
+func httpStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownLease):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, schema.ErrVersion),
+		errors.Is(err, journal.ErrVersion),
+		errors.Is(err, journal.ErrConfigMismatch):
+		return http.StatusBadRequest
+	default:
+		// Journal write failures and anything unclassified are internal;
+		// workers retry via internal/retry and dedupe absorbs the rest.
+		return http.StatusInternalServerError
+	}
+}

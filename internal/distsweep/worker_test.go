@@ -1,0 +1,49 @@
+package distsweep
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/retry"
+)
+
+// TestWorkerGivesUpOnDeadCoordinator pins the idle-poll bound: a worker
+// whose coordinator has exited (sweep complete, or dead for good) must
+// stop polling after MaxIdlePolls consecutive misses and return an
+// error, not spin on a refused connection forever.
+func TestWorkerGivesUpOnDeadCoordinator(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	addr := ts.URL
+	ts.Close() // nothing listens here anymore
+
+	r, err := exp.NewRunner(1, exp.WithSessionOptions(testSpec().SessionOptions()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(WorkerConfig{
+		Addr: addr, Name: "orphan", Runner: r, Spec: testSpec(),
+		PollInterval: time.Millisecond,
+		MaxIdlePolls: 3,
+		Retry:        retry.Policy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Multiplier: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "unreachable") {
+			t.Fatalf("Run returned %v, want coordinator-unreachable error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker kept polling a dead coordinator")
+	}
+	if st := w.Stats(); st.DegradedFlushes != 3 {
+		t.Fatalf("DegradedFlushes = %d, want 3 (one per idle poll)", st.DegradedFlushes)
+	}
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// CSV row builders shared by cmd/sweep (local execution) and cmd/sweepd
+// (distributed coordinator), so both emit byte-identical rows for the
+// same cases and offline plotting scripts cannot drift between the two
+// front ends.
+
+// PairCSVHeader returns the pair-study CSV header row.
+func PairCSVHeader() []string {
+	return []string{"scheme", "qos", "nonqos", "class", "goal", "reached",
+		"qos_ipc", "qos_goal_ipc", "goal_ratio", "nonqos_norm_tput", "instr_per_watt"}
+}
+
+// PairCSVRow renders one completed pair case as a CSV row. Failed cases
+// (Res == nil) have no row; callers skip them.
+func PairCSVRow(c PairCase) []string {
+	q, nq := c.QoSKernel(), c.NonQoSKernel()
+	cls, _ := workloads.PairClass(c.Pair.QoS, c.Pair.NonQoS)
+	return []string{
+		c.Scheme.Name(), c.Pair.QoS, c.Pair.NonQoS, cls,
+		fmt.Sprintf("%.2f", c.Goal),
+		fmt.Sprint(c.Res.AllReached),
+		fmt.Sprintf("%.2f", q.IPC),
+		fmt.Sprintf("%.2f", q.GoalIPC),
+		fmt.Sprintf("%.4f", q.GoalRatio),
+		fmt.Sprintf("%.4f", nq.NormThroughput),
+		fmt.Sprintf("%.3e", c.Res.Power.InstrPerWatt),
+	}
+}
+
+// TrioCSVHeader returns the trio-study CSV header row.
+func TrioCSVHeader() []string {
+	return []string{"scheme", "a", "b", "c", "nqos", "goal", "reached",
+		"ratio_a", "ratio_b", "nonqos_norm_tput"}
+}
+
+// TrioCSVRow renders one completed trio case as a CSV row.
+func TrioCSVRow(c TrioCase, nQoS int) []string {
+	ratioB := ""
+	if nQoS == 2 {
+		ratioB = fmt.Sprintf("%.4f", c.Res.Kernels[1].GoalRatio)
+	}
+	var nqNorm float64
+	var nqCount int
+	for _, k := range c.Res.Kernels {
+		if !k.IsQoS {
+			nqNorm += k.NormThroughput
+			nqCount++
+		}
+	}
+	if nqCount > 0 {
+		nqNorm /= float64(nqCount)
+	}
+	return []string{
+		c.Scheme.Name(), c.Trio.A, c.Trio.B, c.Trio.C,
+		fmt.Sprint(nQoS),
+		fmt.Sprintf("%.2f", c.QoSGoals[0]),
+		fmt.Sprint(c.Res.AllReached),
+		fmt.Sprintf("%.4f", c.Res.Kernels[0].GoalRatio),
+		ratioB,
+		fmt.Sprintf("%.4f", nqNorm),
+	}
+}

@@ -51,17 +51,22 @@ func (c PairCase) QoSKernel() core.KernelResult { return c.Res.Kernels[0] }
 // NonQoSKernel returns the non-QoS kernel's result.
 func (c PairCase) NonQoSKernel() core.KernelResult { return c.Res.Kernels[1] }
 
-// pairSpecs builds the two-kernel spec list for one pair case.
-func pairSpecs(p workloads.Pair, goal float64) []core.KernelSpec {
+// PairSpecs builds the two-kernel spec list for one pair case. It is
+// the single definition of how a (pair, goal) grid coordinate becomes
+// simulator input, shared by the serial sweeps, the parallel Runner and
+// the distributed sweep workers (internal/distsweep) — so every
+// execution path is bit-identical by construction.
+func PairSpecs(p workloads.Pair, goal float64) []core.KernelSpec {
 	return []core.KernelSpec{
 		{Workload: p.QoS, GoalFrac: goal},
 		{Workload: p.NonQoS},
 	}
 }
 
-// trioSpecs builds the three-kernel spec list for one trio case along
-// with its per-QoS-kernel goal list.
-func trioSpecs(t workloads.Trio, goal float64, nQoS int) ([]core.KernelSpec, []float64) {
+// TrioSpecs builds the three-kernel spec list for one trio case along
+// with its per-QoS-kernel goal list. Like PairSpecs it is shared by
+// every execution path (serial, pooled, distributed).
+func TrioSpecs(t workloads.Trio, goal float64, nQoS int) ([]core.KernelSpec, []float64) {
 	specs := []core.KernelSpec{
 		{Workload: t.A, GoalFrac: goal},
 		{Workload: t.B},
@@ -98,7 +103,7 @@ func PairSweep(ctx context.Context, s *core.Session, pairs []workloads.Pair, goa
 	tick := serialProgress(scheme.String(), len(pairs)*len(goals), progress)
 	for _, p := range pairs {
 		for _, g := range goals {
-			res, err := s.Run(ctx, pairSpecs(p, g), scheme)
+			res, err := s.Run(ctx, PairSpecs(p, g), scheme)
 			if err != nil {
 				return nil, fmt.Errorf("pair %s+%s @%.2f: %w", p.QoS, p.NonQoS, g, err)
 			}
@@ -130,7 +135,7 @@ func TrioSweep(ctx context.Context, s *core.Session, trios []workloads.Trio, goa
 	tick := serialProgress(scheme.String(), len(trios)*len(goals), progress)
 	for _, t := range trios {
 		for _, g := range goals {
-			specs, qg := trioSpecs(t, g, nQoS)
+			specs, qg := TrioSpecs(t, g, nQoS)
 			res, err := s.Run(ctx, specs, scheme)
 			if err != nil {
 				return nil, fmt.Errorf("trio %s+%s+%s @%.2f: %w", t.A, t.B, t.C, g, err)

@@ -493,16 +493,19 @@ feed:
 	return rep, nil
 }
 
-// stageKey derives the journal key for one sweep stage: a readable prefix
+// StageKey derives the journal key for one sweep stage: a readable prefix
 // plus hashes of the session configuration (device, window, tuning, seed)
 // and the case grid. Two sweeps share journaled cases only when both
 // hashes agree, so derived runners and differently-subsampled studies can
-// never splice each other's results.
-func (r *Runner) stageKey(kind string, scheme core.Scheme, grid any) (string, error) {
+// never splice each other's results. Exported so the distributed sweep
+// coordinator (internal/distsweep) journals cases under exactly the keys
+// a local Runner would use — a sweep may start local and finish
+// distributed (or vice versa) against the same journal.
+func StageKey(cfg core.Config, seed uint64, kind string, scheme core.Scheme, grid any) (string, error) {
 	sess, err := journal.Hash(struct {
 		Config core.Config
 		Seed   uint64
-	}{r.Session().Config(), r.Session().Seed()})
+	}{cfg, seed})
 	if err != nil {
 		return "", err
 	}
@@ -511,6 +514,11 @@ func (r *Runner) stageKey(kind string, scheme core.Scheme, grid any) (string, er
 		return "", err
 	}
 	return fmt.Sprintf("%s/%s/%s/%s", kind, scheme.Name(), sess[:12], gh[:12]), nil
+}
+
+// stageKey derives the journal key for one of this runner's sweep stages.
+func (r *Runner) stageKey(kind string, scheme core.Scheme, grid any) (string, error) {
+	return StageKey(r.Session().Config(), r.Session().Seed(), kind, scheme, grid)
 }
 
 // journalHooks wires one sweep to the checkpoint journal: restore() is
@@ -537,8 +545,10 @@ func (r *Runner) journalHooks(kind string, scheme core.Scheme, grid any, total i
 	return skip, record, nil
 }
 
-// pairGrid is the hashed identity of a pair-sweep grid.
-type pairGrid struct {
+// PairGrid is the hashed identity of a pair-sweep grid, shared with the
+// distributed coordinator (internal/distsweep) so both journal cases
+// under identical stage keys.
+type PairGrid struct {
 	Pairs []workloads.Pair
 	Goals []float64
 }
@@ -556,7 +566,7 @@ func (r *Runner) PairSweep(ctx context.Context, pairs []workloads.Pair, goals []
 		p, g := pairs[i/len(goals)], goals[i%len(goals)]
 		return fmt.Sprintf("pair[%d] %s+%s @%.2f", i/len(goals), p.QoS, p.NonQoS, g)
 	}
-	skip, record, err := r.journalHooks("pairs", scheme, pairGrid{pairs, goals}, len(out),
+	skip, record, err := r.journalHooks("pairs", scheme, PairGrid{pairs, goals}, len(out),
 		func(i int, raw json.RawMessage) bool {
 			var c PairCase
 			if json.Unmarshal(raw, &c) != nil || c.Res == nil {
@@ -572,7 +582,7 @@ func (r *Runner) PairSweep(ctx context.Context, pairs []workloads.Pair, goals []
 	rep, err := r.sweep(ctx, scheme.String(), len(out), skip, describe, func(ctx context.Context, s *core.Session, i int) error {
 		p, g := pairs[i/len(goals)], goals[i%len(goals)]
 		name := fmt.Sprintf("pair%03d_%s+%s_g%.2f_%s", i, p.QoS, p.NonQoS, g, scheme.Name())
-		res, err := r.runCase(ctx, s, name, pairSpecs(p, g), scheme)
+		res, err := r.runCase(ctx, s, name, PairSpecs(p, g), scheme)
 		if err != nil {
 			return err
 		}
@@ -588,8 +598,9 @@ func (r *Runner) PairSweep(ctx context.Context, pairs []workloads.Pair, goals []
 	return out, nil
 }
 
-// trioGrid is the hashed identity of a trio-sweep grid.
-type trioGrid struct {
+// TrioGrid is the hashed identity of a trio-sweep grid, shared with the
+// distributed coordinator (internal/distsweep).
+type TrioGrid struct {
 	Trios []workloads.Trio
 	Goals []float64
 	NQoS  int
@@ -608,7 +619,7 @@ func (r *Runner) TrioSweep(ctx context.Context, trios []workloads.Trio, goals []
 		t, g := trios[i/len(goals)], goals[i%len(goals)]
 		return fmt.Sprintf("trio[%d] %s+%s+%s @%.2f", i/len(goals), t.A, t.B, t.C, g)
 	}
-	skip, record, err := r.journalHooks("trios", scheme, trioGrid{trios, goals, nQoS}, len(out),
+	skip, record, err := r.journalHooks("trios", scheme, TrioGrid{trios, goals, nQoS}, len(out),
 		func(i int, raw json.RawMessage) bool {
 			var c TrioCase
 			if json.Unmarshal(raw, &c) != nil || c.Res == nil {
@@ -623,7 +634,7 @@ func (r *Runner) TrioSweep(ctx context.Context, trios []workloads.Trio, goals []
 	}
 	rep, err := r.sweep(ctx, scheme.String(), len(out), skip, describe, func(ctx context.Context, s *core.Session, i int) error {
 		t, g := trios[i/len(goals)], goals[i%len(goals)]
-		specs, qg := trioSpecs(t, g, nQoS)
+		specs, qg := TrioSpecs(t, g, nQoS)
 		name := fmt.Sprintf("trio%03d_%s+%s+%s_g%.2f_q%d_%s", i, t.A, t.B, t.C, g, nQoS, scheme.Name())
 		res, err := r.runCase(ctx, s, name, specs, scheme)
 		if err != nil {

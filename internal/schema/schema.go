@@ -9,8 +9,11 @@
 package schema
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 )
 
 // Version is the current schema version. Bump it when any serialized
@@ -36,4 +39,21 @@ func Check(got int) error {
 		return nil
 	}
 	return fmt.Errorf("%w: artifact v%d, this build speaks v%d", ErrVersion, got, Version)
+}
+
+// DecodeStrict unmarshals one JSON value into v, rejecting unknown
+// fields and trailing garbage. It is the shared decode discipline for
+// schema-versioned wire payloads (the distributed-sweep lease/report
+// protocol), so a peer speaking a newer layout fails loudly at the
+// boundary instead of having its extra fields silently dropped.
+func DecodeStrict(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("schema: trailing data after JSON value")
+	}
+	return nil
 }

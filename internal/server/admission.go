@@ -90,6 +90,10 @@ func (s *Server) processBatch(first *job) (closed bool) {
 	memo := make(map[string]*simShare)
 	for bi := 0; bi < len(batch); bi++ {
 		j := batch[bi]
+		// Liveness: mark the decision in flight before anything that can
+		// block (the test gate, the slot wait, the evaluation) so the
+		// /healthz watchdog sees a wedged loop no matter where it wedged.
+		s.decidingSinceNs.Store(time.Now().UnixNano())
 		if s.gate != nil {
 			// Test hook: hold the next decision until the test releases it,
 			// making queue-overflow (429) behavior deterministic.
@@ -115,11 +119,20 @@ func (s *Server) processBatch(first *job) (closed bool) {
 		if err := s.waitSlot(); err != nil {
 			j.finish(JobFailed, nil, err)
 			s.count("jobs_failed", 1)
+			s.markProgress()
 			continue
 		}
 		s.evaluate(j, memo)
+		s.markProgress()
 	}
 	return closed
+}
+
+// markProgress records a completed decision for the /healthz watchdog:
+// the loop is idle again and last progress is now.
+func (s *Server) markProgress() {
+	s.lastProgressNs.Store(time.Now().UnixNano())
+	s.decidingSinceNs.Store(0)
 }
 
 // waitSlot blocks until the admitted mix has room for one more kernel,

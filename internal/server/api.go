@@ -145,7 +145,10 @@ type jobListResponse struct {
 	Jobs   []JobView `json:"jobs"`
 }
 
-// healthResponse is the GET /healthz body.
+// healthResponse is the GET /healthz body. Status is "ok", "draining"
+// or "stalled"; "stalled" (decision loop wedged past Config.StallAfter)
+// is served with HTTP 503 so load balancers and orchestrators see a
+// dead controller without parsing the body.
 type healthResponse struct {
 	Schema   int    `json:"schema"`
 	Status   string `json:"status"`
@@ -153,6 +156,14 @@ type healthResponse struct {
 	Scheme   string `json:"scheme"`
 	Workers  int    `json:"workers"`
 	MaxMix   int    `json:"max_mix"`
+	// Stalled reports a decision in flight longer than StallAfter.
+	Stalled bool `json:"decision_loop_stalled"`
+	// InFlightMs is how long the current decision has been running
+	// (0 when the loop is idle).
+	InFlightMs int64 `json:"decision_in_flight_ms,omitempty"`
+	// LastProgressMs is the unix-milliseconds wall time the decision
+	// loop last completed a decision (startup time before the first).
+	LastProgressMs int64 `json:"last_progress_unix_ms"`
 }
 
 // errorResponse is every non-2xx body.

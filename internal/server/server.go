@@ -18,6 +18,8 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -62,7 +64,18 @@ type Config struct {
 	// VerdictCacheSize bounds the exact verdict cache (default
 	// DefaultVerdictCacheSize).
 	VerdictCacheSize int
+
+	// StallAfter is the decision-loop liveness threshold: when a single
+	// decision has been in flight longer than this, GET /healthz reports
+	// decision_loop_stalled and returns 503 so orchestrators can detect a
+	// wedged loop instead of reading a bare 200 forever (default
+	// DefaultStallAfter). It must comfortably exceed the runner's
+	// per-evaluation timeout; a legitimate slow simulation is not a stall.
+	StallAfter time.Duration
 }
+
+// DefaultStallAfter is the default decision-loop stall threshold.
+const DefaultStallAfter = 2 * time.Minute
 
 // Server is the admission-control daemon. Construct with New, mount
 // Handler on an http.Server, stop with Shutdown.
@@ -89,6 +102,15 @@ type Server struct {
 	statsMu sync.Mutex
 	reg     *trace.Registry
 
+	// Decision-loop liveness (see Config.StallAfter). decidingSinceNs is
+	// the wall time the in-flight decision started, 0 while the loop is
+	// idle; lastProgressNs is the wall time the loop last completed a
+	// decision (or started). Atomics: written by the decision loop, read
+	// by /healthz.
+	stallAfter      time.Duration
+	decidingSinceNs atomic.Int64
+	lastProgressNs  atomic.Int64
+
 	baseCtx  context.Context
 	stop     context.CancelFunc
 	drainMu  sync.Mutex
@@ -111,24 +133,29 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = DefaultStallAfter
+	}
 	dec, err := newDecider(cfg, cfg.Runner.Session())
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		runner:   cfg.Runner,
-		scheme:   cfg.Scheme,
-		maxMix:   cfg.MaxMix,
-		dec:      dec,
-		store:    newJobStore(),
-		queue:    make(chan *job, cfg.QueueDepth),
-		slotFree: make(chan struct{}, 1),
-		reg:      &trace.Registry{},
-		baseCtx:  ctx,
-		stop:     cancel,
-		loopDone: make(chan struct{}),
+		runner:     cfg.Runner,
+		scheme:     cfg.Scheme,
+		maxMix:     cfg.MaxMix,
+		dec:        dec,
+		store:      newJobStore(),
+		queue:      make(chan *job, cfg.QueueDepth),
+		slotFree:   make(chan struct{}, 1),
+		reg:        &trace.Registry{},
+		baseCtx:    ctx,
+		stop:       cancel,
+		loopDone:   make(chan struct{}),
+		stallAfter: cfg.StallAfter,
 	}
+	s.lastProgressNs.Store(time.Now().UnixNano())
 	if cfg.JournalPath != "" {
 		if err := s.openJournal(cfg.JournalPath); err != nil {
 			cancel()
@@ -390,21 +417,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// handleHealthz reports liveness, not just reachability: beyond the
+// drain flag it watches the decision loop itself. A decision in flight
+// longer than StallAfter (runner deadlocked, simulation wedged past its
+// timeout, slot wait that never resolves) flips decision_loop_stalled
+// and the status code to 503, with the last-progress timestamp so an
+// operator can see how long the loop has been dark — instead of a bare
+// 200 from a daemon that will never decide another job.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.drainMu.Lock()
 	draining := s.draining
 	s.drainMu.Unlock()
+	since := s.decidingSinceNs.Load()
+	lastProgress := s.lastProgressNs.Load()
+	var inflightMs int64
+	stalled := false
+	if since != 0 {
+		inflight := time.Since(time.Unix(0, since))
+		inflightMs = inflight.Milliseconds()
+		stalled = inflight > s.stallAfter
+	}
 	status := "ok"
-	if draining {
+	code := http.StatusOK
+	switch {
+	case stalled:
+		status = "stalled"
+		code = http.StatusServiceUnavailable
+	case draining:
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
-		Schema:   schema.Version,
-		Status:   status,
-		Draining: draining,
-		Scheme:   s.scheme.Name(),
-		Workers:  s.runner.Workers(),
-		MaxMix:   s.maxMix,
+	writeJSON(w, code, healthResponse{
+		Schema:         schema.Version,
+		Status:         status,
+		Draining:       draining,
+		Scheme:         s.scheme.Name(),
+		Workers:        s.runner.Workers(),
+		MaxMix:         s.maxMix,
+		Stalled:        stalled,
+		InFlightMs:     inflightMs,
+		LastProgressMs: lastProgress / int64(time.Millisecond),
 	})
 }
 
