@@ -9,7 +9,9 @@
 # simulator-core performance gate against the committed BENCH_core.json
 # baseline (see internal/benchgate; BENCHGATE_HANDICAP=0.6,
 # BENCHGATE_LAT_HANDICAP=4 and BENCHGATE_OVERHEAD_HANDICAP=10 inject
-# synthetic regressions to prove the gates trip).
+# synthetic regressions to prove the gates trip, and the
+# internal/benchgate self-tests pin that a tree reverted to pre-wheel
+# throughput fails the committed baseline's floors).
 
 GO ?= go
 
@@ -40,9 +42,14 @@ RACE_PKGS = $(shell $(GO) list -f '$(RACE_TMPL)' ./internal/... | sort -u)
 # Race-detector pass: the derived concurrent packages, plus the root
 # package's sharded-stepping equivalence tests (the full root integration
 # suite is too slow to race wholesale; TestShard* is the part that spins
-# up the worker pool).
+# up the worker pool). The event-wheel home package (internal/gpu) is in
+# the derived list via its sync import, but its wheel-vs-legacy
+# equivalence tests are pinned by name too: they exercise the sharded
+# drain/wake hand-off, and pinning keeps them raced even if a refactor
+# ever drops the sync import that puts gpu on the derived list.
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -count=1 -run 'TestWheel' ./internal/gpu
 	$(GO) test -race -count=1 -run 'TestShard' .
 
 # Deterministic chaos suite for the distributed sweep: scripted worker

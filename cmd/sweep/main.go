@@ -254,6 +254,13 @@ func runWorker(ctx context.Context, o options) error {
 	st := w.Stats()
 	fmt.Fprintf(os.Stderr, "sweep: worker %s: %d leases, %d cases run, %d delivered, %d failed, %d dup, %d hb misses, %d degraded flushes\n",
 		name, st.Leases, st.CasesRun, st.CasesDelivered, st.CasesFailed, st.Duplicates, st.HeartbeatMisses, st.DegradedFlushes)
+	if st.CasesUndelivered > 0 {
+		// Computed results the coordinator never acknowledged die with
+		// this process; say so instead of letting the counts above imply
+		// the work landed.
+		fmt.Fprintf(os.Stderr, "sweep: worker %s: %d case result(s) computed but UNDELIVERED — lost with this worker\n",
+			name, st.CasesUndelivered)
+	}
 	return err
 }
 

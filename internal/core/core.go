@@ -211,6 +211,12 @@ type Config struct {
 	// ShardWorkers overrides the sharded-mode worker count (0 = derive
 	// from GOMAXPROCS). Mainly a test hook.
 	ShardWorkers int `json:"-"`
+	// DisableEventWheel pins the stepper to per-cycle ticking instead of
+	// event-wheel skipping (gpu.SetEventWheel). Wheel runs are
+	// bit-identical to per-cycle runs, so — like the shard fields — the
+	// switch is excluded from journal hashes; it exists as a debugging
+	// escape hatch and for the equivalence tests.
+	DisableEventWheel bool `json:"-"`
 }
 
 // Session runs simulations under one fixed configuration and caches
@@ -445,6 +451,7 @@ func (s *Session) RunTraced(ctx context.Context, specs []KernelSpec, scheme Sche
 func (s *Session) applyStepping(g *gpu.GPU) {
 	g.SetShardWorkers(s.cfg.ShardWorkers)
 	g.SetShards(s.cfg.Shards)
+	g.SetEventWheel(!s.cfg.DisableEventWheel)
 }
 
 // installScheme wires the chosen management policy into the GPU.

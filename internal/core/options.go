@@ -61,6 +61,16 @@ func WithShardWorkers(w int) Option {
 	return func(s *settings) { s.cfg.ShardWorkers = w }
 }
 
+// WithEventWheel turns event-wheel stepping on or off for every run of
+// the session (the default is on). The wheel jumps the main loop between
+// the next scheduled events — SM wake-ups, quota events, sample
+// boundaries, epoch rolls — instead of ticking every cycle; runs are
+// bit-identical either way, so the switch is purely a debugging escape
+// hatch and the lever the wheel-equivalence tests pull.
+func WithEventWheel(on bool) Option {
+	return func(s *settings) { s.cfg.DisableEventWheel = !on }
+}
+
 // WithSeed sets the deterministic seed used to expand kernel profiles.
 // The default is workloads.Seed; every stochastic decision in a run is a
 // pure function of this seed, so two sessions with equal configuration

@@ -65,6 +65,12 @@ type WorkerStats struct {
 	// DegradedFlushes counts result batches that could not be delivered
 	// within the retry budget and were carried forward locally.
 	DegradedFlushes int
+	// CasesUndelivered gauges the case results (successes plus failures)
+	// currently computed but not acknowledged by the coordinator. It is
+	// nonzero while batches ride the carry-forward queue and, crucially,
+	// in the final snapshot of a worker that gave up with work on board —
+	// those results die with the worker and the exit summary must say so.
+	CasesUndelivered int
 }
 
 // WorkerConfig configures a Worker.
@@ -240,7 +246,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			if idleFails >= limit {
 				if n := len(w.undelivered); n > 0 {
-					return fmt.Errorf("distsweep: coordinator unreachable for %d polls with %d undelivered batch(es): %w", idleFails, n, err)
+					return fmt.Errorf("distsweep: coordinator unreachable for %d polls; giving up with %d case result(s) in %d undelivered batch(es): %w",
+						idleFails, w.Stats().CasesUndelivered, n, err)
 				}
 				return fmt.Errorf("distsweep: coordinator unreachable for %d polls: %w", idleFails, err)
 			}
@@ -375,6 +382,7 @@ func (w *Worker) deliver(ctx context.Context, b pendingBatch) {
 	if err != nil {
 		w.bump(func(st *WorkerStats) { st.DegradedFlushes++ })
 		w.undelivered = append(w.undelivered, b)
+		w.noteUndelivered()
 		w.event("degraded", b.lease, -1, err)
 		w.logf("delivery of %d cases failed (%v); carrying forward", len(b.cases), err)
 		return
@@ -400,6 +408,19 @@ func (w *Worker) flushUndelivered(ctx context.Context) {
 		}
 		w.deliver(ctx, b)
 	}
+	w.noteUndelivered()
+}
+
+// noteUndelivered refreshes the undelivered-case gauge after the
+// carry-forward queue changed. Only the worker loop mutates the queue,
+// so recomputing the sum here is race-free; the gauge itself lives in
+// the stats snapshot readers see.
+func (w *Worker) noteUndelivered() {
+	n := 0
+	for _, b := range w.undelivered {
+		n += len(b.cases) + len(b.failed)
+	}
+	w.bump(func(st *WorkerStats) { st.CasesUndelivered = n })
 }
 
 // --- HTTP plumbing ----------------------------------------------------

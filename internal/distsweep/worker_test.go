@@ -2,13 +2,17 @@ package distsweep
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/exp"
 	"repro/internal/retry"
+	"repro/internal/schema"
 )
 
 // TestWorkerGivesUpOnDeadCoordinator pins the idle-poll bound: a worker
@@ -45,5 +49,82 @@ func TestWorkerGivesUpOnDeadCoordinator(t *testing.T) {
 	}
 	if st := w.Stats(); st.DegradedFlushes != 3 {
 		t.Fatalf("DegradedFlushes = %d, want 3 (one per idle poll)", st.DegradedFlushes)
+	}
+}
+
+// TestWorkerGiveUpReportsCarriedBatch pins the give-up accounting: a
+// worker that degrades to local execution (its report deliveries keep
+// failing), carries the computed batch forward, and finally exits after
+// the stretched idle-poll bound must surface the carried cases in its
+// exit error and final stats snapshot — not silently drop them.
+func TestWorkerGiveUpReportsCarriedBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	var mu sync.Mutex
+	leased := false
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/leases", func(rw http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if leased {
+			// Coordinator "dies" after handing out one lease.
+			http.Error(rw, `{"error":"gone"}`, http.StatusInternalServerError)
+			return
+		}
+		leased = true
+		json.NewEncoder(rw).Encode(LeaseResponse{
+			Schema: schema.Version,
+			Lease:  &Lease{ID: "L1", Start: 0, End: 2, TTLMs: 60_000},
+		})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", func(rw http.ResponseWriter, req *http.Request) {
+		json.NewEncoder(rw).Encode(HeartbeatResponse{Schema: schema.Version})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/results", func(rw http.ResponseWriter, req *http.Request) {
+		// Every delivery attempt fails transiently: results are computed
+		// but never acknowledged.
+		http.Error(rw, `{"error":"disk full"}`, http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	r, err := exp.NewRunner(1, exp.WithSessionOptions(testSpec().SessionOptions()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(WorkerConfig{
+		Addr: ts.URL, Name: "carrier", Runner: r, Spec: testSpec(),
+		PollInterval: time.Millisecond,
+		MaxIdlePolls: 2, // stretched by undeliveredPatience while carrying
+		FlushCases:   8, // whole lease lands in one batch
+		Retry:        retry.Policy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Multiplier: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("worker never gave up")
+	}
+	if runErr == nil {
+		t.Fatal("Run returned nil, want give-up error")
+	}
+	if !strings.Contains(runErr.Error(), "2 case result(s)") || !strings.Contains(runErr.Error(), "undelivered batch") {
+		t.Fatalf("give-up error %q does not report the carried cases", runErr)
+	}
+	st := w.Stats()
+	if st.CasesRun != 2 {
+		t.Fatalf("CasesRun = %d, want 2", st.CasesRun)
+	}
+	if st.CasesDelivered != 0 {
+		t.Fatalf("CasesDelivered = %d, want 0 (every delivery failed)", st.CasesDelivered)
+	}
+	if st.CasesUndelivered != 2 {
+		t.Fatalf("CasesUndelivered = %d, want 2 (the carried batch's results)", st.CasesUndelivered)
 	}
 }

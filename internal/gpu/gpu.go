@@ -34,6 +34,24 @@ type Controller interface {
 	OnEpoch(now int64)
 }
 
+// NoEvent is the sentinel an event source returns when it has nothing
+// scheduled: no cycle at or after the queried one needs its attention.
+// It is far beyond any reachable cycle count.
+const NoEvent = int64(1) << 62
+
+// CycleScheduler is the optional Controller extension that lets the
+// event-wheel stepper skip cycles. NextControlEvent(now) returns the
+// earliest cycle >= now at which the controller's OnCycle hook could do
+// anything other than return immediately (NoEvent when no such cycle is
+// scheduled), under the promise that the GPU state the answer depends on
+// does not change during a skipped stretch — every SM is idle, so no
+// instruction issues and no counter moves. A Controller that does not
+// implement CycleScheduler disables the event wheel: the loop falls back
+// to ticking every cycle so the hook keeps firing per cycle.
+type CycleScheduler interface {
+	NextControlEvent(now int64) int64
+}
+
 // GPU is one simulated device executing a fixed co-run of kernels.
 type GPU struct {
 	Cfg    config.GPU
@@ -70,6 +88,20 @@ type GPU struct {
 	needDispatch bool
 	Now          int64
 	epochIdx     int
+
+	// Event-wheel stepping (see run.go). wheelOff disables the
+	// whole-machine cycle skipping (escape hatch; the per-SM idle fast
+	// path inside sm.Cycle stays on). lastDispatchAt records the cycle
+	// of the last TB-scheduler invocation, so the wheel knows whether a
+	// pending kernel-relaunch gate crossing has been serviced yet.
+	wheelOff       bool
+	lastDispatchAt int64
+	// WheelJumps / WheelSkipped count the wheel's forward jumps and the
+	// total cycles they fast-forwarded over; purely observational (the
+	// equivalence tests use them to prove a run actually exercised
+	// skipping, and experiment reports quote them).
+	WheelJumps   int64
+	WheelSkipped int64
 
 	// Sharded stepping (see shard.go). shards <= 1 is the serial
 	// stepper; shardStats holds each SM's private stats shard while
@@ -137,12 +169,22 @@ func New(cfg config.GPU, kernels []*kern.Kernel) (*GPU, error) {
 		g.idleAcc[i] = make([]int64, n)
 	}
 	g.needDispatch = true
+	g.lastDispatchAt = -1
 	g.nextEpochAt = cfg.EpochLength
 	return g, nil
 }
 
 // SetController installs the run controller (may be nil).
 func (g *GPU) SetController(c Controller) { g.controller = c }
+
+// SetEventWheel enables or disables event-wheel stepping (the default is
+// on). Wheel runs are bit-identical to per-cycle runs; the switch exists
+// as a debugging escape hatch and for the equivalence tests that prove
+// that claim.
+func (g *GPU) SetEventWheel(on bool) { g.wheelOff = !on }
+
+// EventWheel reports whether event-wheel stepping is enabled.
+func (g *GPU) EventWheel() bool { return !g.wheelOff }
 
 // SetTracer attaches the observability tracer to the device and every SM
 // (nil detaches). Controllers read it back via Tracer.
@@ -258,6 +300,7 @@ func (g *GPU) DrainSM(now int64, smID int) {
 // kernels interleave fairly.
 func (g *GPU) dispatch(now int64) {
 	g.needDispatch = false
+	g.lastDispatchAt = now
 	progress := true
 	for progress {
 		progress = false

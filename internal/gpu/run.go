@@ -49,7 +49,21 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
-	for ; g.Now < end; g.Now++ {
+	// Event-wheel stepping: after each processed cycle the loop asks
+	// every event source for its next interesting cycle and jumps
+	// straight there when that is in the future. A controller that does
+	// not publish its next control event (CycleScheduler) pins the loop
+	// to per-cycle stepping so its OnCycle hook keeps firing every cycle.
+	wheel := !g.wheelOff
+	var sched CycleScheduler
+	if g.controller != nil {
+		cs, ok := g.controller.(CycleScheduler)
+		if !ok {
+			wheel = false
+		}
+		sched = cs
+	}
+	for g.Now < end {
 		now := g.Now
 		// The TB scheduler runs when work completed or controllers
 		// changed allocation; the periodic fallback picks up launch
@@ -72,12 +86,21 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 			// the shared memory system, tracer and launch bookkeeping
 			// observe the identical global sequence.
 			pool.step(now)
-			for i := 0; i < n; i++ {
-				g.SMs[(start+i)%n].FlushDeferred(now)
+			for _, s := range g.SMs[start:] {
+				s.FlushDeferred(now)
+			}
+			for _, s := range g.SMs[:start] {
+				s.FlushDeferred(now)
 			}
 		} else {
-			for i := 0; i < n; i++ {
-				g.SMs[(start+i)%n].Cycle(now)
+			// Two bounds-check-free sweeps replace the per-SM modulo of
+			// the rotated index walk; this loop runs once per simulated
+			// cycle per SM and the division was visible in profiles.
+			for _, s := range g.SMs[start:] {
+				s.Cycle(now)
+			}
+			for _, s := range g.SMs[:start] {
+				s.Cycle(now)
 			}
 		}
 		if g.controller != nil {
@@ -105,8 +128,102 @@ func (g *GPU) RunCtx(ctx context.Context, cycles int64) error {
 				return err
 			}
 		}
+		g.Now++
+		if wheel {
+			if next := g.nextEventAt(g.Now, end, sampleEvery, sched); next > g.Now {
+				// Every cycle in [g.Now, next) is provably a no-op for
+				// every source; the only legacy effect — per-SM idle
+				// skip counting — is credited in bulk.
+				for _, s := range g.SMs {
+					s.CreditIdle(g.Now, next)
+				}
+				g.WheelJumps++
+				g.WheelSkipped += next - g.Now
+				g.Now = next
+			}
+		}
 	}
 	return nil
+}
+
+// nextEventAt returns the earliest cycle in [a, end] any event source has
+// scheduled work for. A cycle t is "scheduled" when processing it with
+// the per-cycle body could change state or emit observable effects:
+//
+//   - the TB scheduler must run (needDispatch, or a kernel-relaunch gate
+//     crossing that the periodic now%64 fallback would pick up);
+//   - an SM leaves its blocked/idle window (sm.NextEventAt);
+//   - the controller's OnCycle hook could act (CycleScheduler);
+//   - the memory system requires attention (mem.System.NextEventAt);
+//   - an idle-warp sample boundary (now % sampleEvery == 0) — sampling,
+//     idleSamples and the deadline poll must observe every boundary;
+//   - the scheduled epoch roll (nextEpochAt).
+//
+// Every skipped cycle in between is a no-op in the legacy loop apart from
+// per-SM idle-skip counting, which CreditIdle reproduces exactly.
+func (g *GPU) nextEventAt(a, end int64, sampleEvery int64, sched CycleScheduler) int64 {
+	if g.needDispatch {
+		return a
+	}
+	next := end
+	if g.nextEpochAt < next {
+		next = g.nextEpochAt
+	}
+	if sb := ((a + sampleEvery - 1) / sampleEvery) * sampleEvery; sb < next {
+		next = sb
+	}
+	if next <= a {
+		return a
+	}
+	// The SM scan comes first: the min over sources is order-independent,
+	// and on a busy machine the first active SM already pins the loop to
+	// per-cycle stepping, so checking SMs before the controller, memory
+	// and launch-gate sources lets the dense case return after one probe
+	// instead of paying every scan every cycle.
+	for _, s := range g.SMs {
+		if t := s.NextEventAt(a); t < next {
+			next = t
+		}
+		if next <= a {
+			return a
+		}
+	}
+	if sched != nil {
+		if t := sched.NextControlEvent(a); t < next {
+			next = t
+		}
+	}
+	if t := g.Mem.NextEventAt(a); t < next {
+		next = t
+	}
+	if next <= a {
+		return a
+	}
+	// Kernel relaunches re-enter dispatch through the periodic now%64
+	// fallback once their launch gate passes. A gate crossing not yet
+	// seen by a dispatch run schedules the first %64 cycle at/after it;
+	// all other dispatch triggers (retires, preemptions, mask and cap
+	// changes, context restores becoming placeable) set needDispatch.
+	for slot := range g.Kernels {
+		if g.nextGridIdx[slot] >= g.Kernels[slot].Profile.GridTBs {
+			continue
+		}
+		gate := g.launchGateAt[slot]
+		if g.lastDispatchAt >= gate {
+			continue
+		}
+		t := gate
+		if t < a {
+			t = a
+		}
+		if t = (t + 63) &^ 63; t < next {
+			next = t
+		}
+	}
+	if next < a {
+		return a
+	}
+	return next
 }
 
 // rollEpoch snapshots per-kernel epoch counters, records them, and fires

@@ -134,6 +134,21 @@ func (s *System) Access(now int64, addr uint64, kind AccessKind) int64 {
 	return done + s.cfg.InterconnectDelay
 }
 
+// noEvent mirrors gpu.NoEvent (this package cannot import gpu): the
+// sentinel returned when no cycle at/after the queried one needs the
+// main loop's attention.
+const noEvent = int64(1) << 62
+
+// NextEventAt implements the memory system's side of the event-wheel
+// contract: the earliest cycle >= a at which the system requires the
+// main loop to process a cycle. The model is fully reactive — every
+// access computes its completion time at issue, queue state (nextFree)
+// advances only when Access is called, and the completion's future
+// effects (MSHR release, credit release, warp wake) live in the issuing
+// SM's heaps, which the SM's own NextEventAt already bounds. The memory
+// system therefore never schedules an independent event.
+func (s *System) NextEventAt(a int64) int64 { return noEvent }
+
 // Backlog returns the worst per-partition queueing backlog, in cycles, at
 // time now. The SMs use it as backpressure: when the memory system is
 // this congested, new memory instructions stall at issue (a bounded-queue

@@ -328,6 +328,22 @@ func (m *Manager) OnCycle(now int64) {
 	}
 }
 
+// NextControlEvent implements gpu.CycleScheduler for the event wheel.
+// OnCycle acts only once every QoS kernel has exhausted its quota
+// GPU-wide; until then it returns on its first check, and the exhaustion
+// state cannot change across a skipped stretch — it is a function of the
+// quota counters and TB residency, both frozen while every SM sleeps
+// (the issue that crosses the final counter past zero wakes its SM, so
+// the wheel re-evaluates at the very next cycle). Once exhausted, the
+// manager runs per cycle: replenish timing and elastic epoch starts
+// depend on state the hook itself mutates.
+func (m *Manager) NextControlEvent(now int64) int64 {
+	if m.qosExhaustedEverywhere() {
+		return now
+	}
+	return gpu.NoEvent
+}
+
 // qosExhaustedEverywhere reports whether every QoS kernel has consumed
 // its quota on every SM where it has warps.
 func (m *Manager) qosExhaustedEverywhere() bool {

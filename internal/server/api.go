@@ -229,28 +229,45 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 // retryAfterSeconds estimates how long a 429'd client should wait: the
 // decision-count-weighted blend of the per-tier latency EWMAs times the
 // work ahead of it (queue depth + 1), rounded up to whole seconds and
-// clamped to [1, 600]. Before any decision has landed it falls back to
-// 1 second.
+// clamped to [1, 600]. Tiers that have been counted but never measured
+// are excluded from the blend; when no tier has a measurement yet the
+// hint falls back to 1 second.
 func (s *Server) retryAfterSeconds() int {
 	var weightedNs, n float64
 	s.statsMu.Lock()
 	for _, tier := range []string{schema.TierCache, schema.TierModel, schema.TierSim} {
 		c := float64(s.reg.Counter("verdicts_tier_" + tier).Value())
-		weightedNs += c * s.reg.Gauge("latency_ewma_ns_"+tier).Value()
+		ewma := s.reg.Gauge("latency_ewma_ns_" + tier).Value()
+		// A tier can be counted before its first latency lands: the
+		// verdict counter and the EWMA seed are separate critical
+		// sections, and a journal-resumed daemon replays counters into
+		// a process whose gauges start at zero. Blending such a tier at
+		// 0ns drags the estimate toward zero, so a cold daemon's first
+		// 429 would hand out a 1s hint against a queue of multi-second
+		// sim decisions. Skip unmeasured (and non-finite) tiers from
+		// both the numerator and the weight mass instead.
+		if c <= 0 || ewma <= 0 || math.IsInf(ewma, 0) || math.IsNaN(ewma) {
+			continue
+		}
+		weightedNs += c * ewma
 		n += c
 	}
 	s.statsMu.Unlock()
 	if n == 0 {
 		return 1
 	}
-	secs := int(math.Ceil(weightedNs / n * float64(len(s.queue)+1) / 1e9))
-	if secs < 1 {
-		secs = 1
+	// Clamp in the float domain: a pathological EWMA times a deep queue
+	// can exceed the int64 range, and Go's float-to-int conversion of
+	// such values is not a saturating clamp — it used to come back
+	// negative and hit the 1s floor, the opposite of the right hint.
+	secs := math.Ceil(weightedNs / n * float64(len(s.queue)+1) / 1e9)
+	if math.IsNaN(secs) || secs < 1 {
+		return 1
 	}
 	if secs > 600 {
-		secs = 600
+		return 600
 	}
-	return secs
+	return int(secs)
 }
 
 // latencyEWMAAlpha is the smoothing factor of the per-tier decision

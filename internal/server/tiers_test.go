@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -306,6 +307,91 @@ func TestRetryAfterSeconds(t *testing.T) {
 	s.reg.Gauge("latency_ewma_ns_sim").Set(1e15)
 	if got := s.retryAfterSeconds(); got != 600 {
 		t.Fatalf("clamp: %d, want 600", got)
+	}
+}
+
+// TestRetryAfterSecondsColdStart covers the cold-start and degenerate
+// EWMA states: tiers whose counters moved before their first latency
+// observation landed (the counter bump and the EWMA seed are separate
+// critical sections, and journal replay restores counters into a process
+// with zeroed gauges) must not dilute the hint, and pathological EWMAs
+// must clamp to the 600s ceiling instead of overflowing the int
+// conversion into the 1s floor.
+func TestRetryAfterSecondsColdStart(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		seed   func(s *Server)
+		queued int
+		want   int
+	}{
+		{
+			name: "empty registry",
+			seed: func(s *Server) {},
+			want: 1,
+		},
+		{
+			name: "counters without measurements",
+			// A resumed daemon that has decided nothing in this
+			// process: replayed counters, zero gauges.
+			seed: func(s *Server) {
+				s.reg.Counter("verdicts_tier_cache").Add(5000)
+				s.reg.Counter("verdicts_tier_sim").Add(40)
+			},
+			want: 1,
+		},
+		{
+			name: "unmeasured tier does not dilute",
+			// 5000 counted-but-unmeasured cache hits against one real
+			// 2.5s sim decision: the blend must be 2.5s, not ~0.
+			seed: func(s *Server) {
+				s.reg.Counter("verdicts_tier_cache").Add(5000)
+				s.reg.Counter("verdicts_tier_sim").Add(1)
+				s.reg.Gauge("latency_ewma_ns_sim").Set(2.5e9)
+			},
+			want: 3,
+		},
+		{
+			name: "single tier with saturated queue",
+			// 2.5s per decision and 7 jobs already queued: 2.5 * 8.
+			seed: func(s *Server) {
+				s.reg.Counter("verdicts_tier_sim").Add(1)
+				s.reg.Gauge("latency_ewma_ns_sim").Set(2.5e9)
+			},
+			queued: 7,
+			want:   20,
+		},
+		{
+			name: "absurd ewma clamps to ceiling not floor",
+			// 1e30ns overflows int64 once multiplied out; the clamp
+			// must happen before the integer conversion.
+			seed: func(s *Server) {
+				s.reg.Counter("verdicts_tier_sim").Add(1)
+				s.reg.Gauge("latency_ewma_ns_sim").Set(1e30)
+			},
+			queued: 7,
+			want:   600,
+		},
+		{
+			name: "non-finite ewma ignored",
+			seed: func(s *Server) {
+				s.reg.Counter("verdicts_tier_model").Add(10)
+				s.reg.Gauge("latency_ewma_ns_model").Set(math.Inf(1))
+				s.reg.Counter("verdicts_tier_sim").Add(1)
+				s.reg.Gauge("latency_ewma_ns_sim").Set(2.5e9)
+			},
+			want: 3,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Server{reg: &trace.Registry{}, queue: make(chan *job, 8)}
+			tc.seed(s)
+			for i := 0; i < tc.queued; i++ {
+				s.queue <- &job{}
+			}
+			if got := s.retryAfterSeconds(); got != tc.want {
+				t.Fatalf("retryAfterSeconds() = %d, want %d", got, tc.want)
+			}
+		})
 	}
 }
 

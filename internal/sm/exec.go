@@ -52,7 +52,10 @@ func (s *SM) Cycle(now int64) {
 		// stalled scheduler; wake those sleepers for this cycle's scan.
 		// (Completion times are not monotonic in issue order, so a sleep
 		// time computed from heap tops at scan time could overshoot —
-		// waking at pop time is exact.)
+		// waking at pop time is exact.) The structural-block memo is
+		// invalidated the same way: a pop is the only event that shrinks
+		// MSHR or credit occupancy.
+		s.structEpoch++
 		for i := range s.scheds {
 			if s.scheds[i].structSleep && s.scheds[i].nextWake > now {
 				s.scheds[i].nextWake = now
@@ -60,23 +63,11 @@ func (s *SM) Cycle(now int64) {
 		}
 	}
 	s.memIssues = 0
-	for slot := range s.kernels {
-		ok := s.gate == nil || s.gate.CanIssue(s.ID, slot)
-		if !ok && s.kernels[slot].tbs > 0 {
-			s.kernels[slot].stats.ThrottledCycles++
-			if s.gateOK[slot] {
-				// Transition into quota-denied: trace the edge, not
-				// every throttled cycle.
-				if s.capturing {
-					if s.tracer != nil {
-						s.pendStalls = append(s.pendStalls, slot)
-					}
-				} else {
-					s.tracer.GateStall(now, s.ID, slot, -1)
-				}
-			}
-		}
-		s.gateOK[slot] = ok
+	if s.gateDirty {
+		s.refreshGate(now)
+	}
+	for _, slot := range s.gatedResident {
+		s.kernels[slot].stats.ThrottledCycles++
 	}
 
 	issued := false
@@ -108,7 +99,11 @@ func (s *SM) Cycle(now int64) {
 						pushWake(&sch.wakeQ, wakeEnt{w.readyAt, w})
 					}
 				default:
+					// Refresh both mirrors: the issue advanced the warp
+					// past its instruction, so its scan class may have
+					// changed along with its wake time.
 					sch.ready[idx].readyAt = w.readyAt
+					sch.ready[idx].cls = opClass(w.body[w.pc].Op)
 				}
 			}
 			issued = true
@@ -146,6 +141,65 @@ func (s *SM) Cycle(now int64) {
 	s.capturing = false
 }
 
+// refreshGate recomputes the cached per-slot gate results. Called only
+// when gateDirty (a quota event, gate swap or residency change since the
+// last refresh), never per cycle: every mutation that can change
+// CanIssue's answer for this SM wakes it, so a clean cache is exact.
+// Reopened slots release their parked warps back into the scan caches;
+// newly denied slots trace the stall edge exactly as the per-cycle
+// recomputation did.
+func (s *SM) refreshGate(now int64) {
+	s.gateDirty = false
+	s.gatedResident = s.gatedResident[:0]
+	for slot := range s.kernels {
+		ok := s.gate == nil || s.gate.CanIssue(s.ID, slot)
+		if !ok && s.kernels[slot].tbs > 0 {
+			s.gatedResident = append(s.gatedResident, int32(slot))
+			if s.gateOK[slot] {
+				// Transition into quota-denied: trace the edge, not
+				// every throttled cycle.
+				if s.capturing {
+					if s.tracer != nil {
+						s.pendStalls = append(s.pendStalls, slot)
+					}
+				} else {
+					s.tracer.GateStall(now, s.ID, slot, -1)
+				}
+			}
+		}
+		if ok && !s.gateOK[slot] {
+			s.unparkSlot(slot, now)
+		}
+		s.gateOK[slot] = ok
+	}
+}
+
+// unparkSlot re-files every parked warp of a reopened slot into its
+// scheduler's ready cache or wake heap. Parked entries are always live
+// (a gated warp cannot issue, so it cannot finish or reach a barrier;
+// preemption and retirement purge parked entries via removeReady).
+func (s *SM) unparkSlot(slot int, now int64) {
+	for i := range s.scheds {
+		sch := &s.scheds[i]
+		if len(sch.parked) == 0 {
+			continue
+		}
+		kept := sch.parked[:0]
+		for _, e := range sch.parked {
+			if int(e.slot) != slot {
+				kept = append(kept, e)
+				continue
+			}
+			e.w.inReady = false
+			s.enqueue(sch, e.w, now)
+		}
+		for j := len(kept); j < len(sch.parked); j++ {
+			sch.parked[j] = readyEnt{}
+		}
+		sch.parked = kept
+	}
+}
+
 // settleIdle folds idle-skipped cycles into the per-kernel quota
 // throttle counters. The gated set is frozen across an idle window, so
 // one bulk add per slot is exact.
@@ -155,10 +209,8 @@ func (s *SM) settleIdle() {
 		return
 	}
 	s.idleSkips = 0
-	for slot := range s.kernels {
-		if !s.gateOK[slot] && s.kernels[slot].tbs > 0 {
-			s.kernels[slot].stats.ThrottledCycles += n
-		}
+	for _, slot := range s.gatedResident {
+		s.kernels[slot].stats.ThrottledCycles += n
 	}
 }
 
@@ -208,7 +260,27 @@ func (s *SM) pick(now int64, sch *scheduler) (*Warp, int) {
 	s.sawPort, s.sawMSHR, s.sawCredit = false, false, false
 	longSleep := s.cfg.L1HitLatency
 	a := sch.ready
-	for i := 0; i < len(a); i++ {
+	// Resume past the cached non-issuable prefix when it is still valid:
+	// no structural epoch move (MSHR/credit blocks still hold), no waiter
+	// matured, and no cache mutation disturbed the region (tracked by
+	// insertReady/removeReadyAt). The skipped entries' block causes and
+	// earliest wake still feed the stall classification below.
+	start := 0
+	preMSHR, preCredit := false, false
+	preUntil := deferredReadyAt
+	if sch.prefixLen > 0 {
+		// The epoch guard only protects MSHR/credit-blocked members; a
+		// prefix of pure future-waiters survives completion-heap pops.
+		if now < sch.prefixUntil && sch.prefixLen <= len(a) &&
+			(!(sch.prefixMSHR || sch.prefixCredit) || sch.prefixEpoch == s.structEpoch) {
+			start = sch.prefixLen
+			preMSHR, preCredit = sch.prefixMSHR, sch.prefixCredit
+			preUntil = sch.prefixUntil
+		} else {
+			sch.prefixLen = 0
+		}
+	}
+	for i := start; i < len(a); i++ {
 		e := &a[i]
 		// The entry mirrors the warp's slot, age and wake time so skip
 		// decisions stay inside this contiguous slice instead of
@@ -217,15 +289,22 @@ func (s *SM) pick(now int64, sch *scheduler) (*Warp, int) {
 		// value only costs one dereference to refresh — it never skips
 		// a warp that is actually ready.
 		if !s.gateOK[e.slot] {
-			// Quota throttling clears only on a quota event, and every
-			// quota event wakes the SM; no need to re-poll each cycle.
-			if e.readyAt > now {
-				if e.readyAt < next {
-					next = e.readyAt
-				}
-			} else {
+			// Quota throttling clears only on a quota event; every quota
+			// event wakes the SM and dirties the gate cache, and the
+			// refresh un-parks reopened slots before any scan. Parking
+			// the entry here removes the whole gated slot from every
+			// subsequent scan instead of re-skipping it each cycle. Its
+			// wake time needs no tracking: the gate is the binding
+			// constraint, and the gate event re-files the warp.
+			if e.readyAt <= now {
 				sawGated = true
 			}
+			sch.parked = append(sch.parked, *e)
+			copy(a[i:], a[i+1:])
+			a[len(a)-1] = readyEnt{}
+			sch.ready = a[:len(a)-1]
+			a = sch.ready
+			i--
 			continue
 		}
 		if e.readyAt > now {
@@ -233,6 +312,37 @@ func (s *SM) pick(now int64, sch *scheduler) (*Warp, int) {
 				next = e.readyAt
 			}
 			continue
+		}
+		// Structural-block memo: skip a memory entry whose block was
+		// already established this cycle (ports) or since the last
+		// completion-heap pop / budget raise (MSHRs, credits) without
+		// dereferencing the warp — blockedness is monotone between those
+		// invalidation points, so the memo answer equals structuralOK's.
+		// The checks mirror structuralOK's order (port, MSHR, credit) so
+		// the recorded first-failing cause matches a direct check.
+		switch e.cls {
+		case clsLdGlobal:
+			if s.portBlockCycle == now {
+				s.sawPort = true
+				continue
+			}
+			if s.mshrEpoch == s.structEpoch {
+				s.sawMSHR = true
+				continue
+			}
+			if s.creditEpoch[e.slot] == s.structEpoch {
+				s.sawCredit = true
+				continue
+			}
+		case clsStGlobal:
+			if s.portBlockCycle == now {
+				s.sawPort = true
+				continue
+			}
+			if s.creditEpoch[e.slot] == s.structEpoch {
+				s.sawCredit = true
+				continue
+			}
 		}
 		w := e.w
 		if w.done || w.atBarrier || w.readyAt-now >= longSleep {
@@ -256,14 +366,40 @@ func (s *SM) pick(now int64, sch *scheduler) (*Warp, int) {
 			}
 			continue
 		}
-		if !s.structuralOK(int(e.slot), &w.body[w.pc]) {
+		if !s.structuralOK(now, int(e.slot), &w.body[w.pc]) {
 			continue // cause recorded in sawPort/sawMSHR/sawCredit
 		}
 		best = w
 		bestIdx = i
 		break // the ready cache is age-ordered: oldest first
 	}
+	// Refresh the prefix cache: everything before bestIdx (or the whole
+	// cache when nothing issued) was just proven non-issuable. A scan
+	// that saw a port block cannot leave a prefix — ports free when the
+	// per-cycle issue counter resets, so those entries must be retried
+	// next cycle.
+	if s.sawPort {
+		sch.prefixLen = 0
+	} else {
+		if preUntil < next {
+			next = preUntil
+		}
+		if best != nil {
+			sch.prefixLen = bestIdx
+		} else {
+			sch.prefixLen = len(sch.ready)
+		}
+		sch.prefixUntil = next
+		sch.prefixEpoch = s.structEpoch
+		sch.prefixMSHR = s.sawMSHR || preMSHR
+		sch.prefixCredit = s.sawCredit || preCredit
+	}
+	s.sawMSHR = s.sawMSHR || preMSHR
+	s.sawCredit = s.sawCredit || preCredit
 	if best == nil {
+		if preUntil < next {
+			next = preUntil
+		}
 		if len(sch.wakeQ) > 0 && sch.wakeQ[0].at < next {
 			next = sch.wakeQ[0].at
 		}
@@ -319,7 +455,7 @@ func (s *SM) enqueue(sch *scheduler, w *Warp, now int64) {
 // position (the cache stays oldest-first, preserving GTO order).
 func (s *SM) insertReady(sch *scheduler, w *Warp) {
 	w.inReady = true
-	e := readyEnt{w: w, age: w.age, readyAt: w.readyAt, slot: int32(w.slot)}
+	e := readyEnt{w: w, age: w.age, readyAt: w.readyAt, slot: int32(w.slot), cls: opClass(w.body[w.pc].Op)}
 	a := append(sch.ready, e)
 	i := len(a) - 1
 	for i > 0 && a[i-1].age > e.age {
@@ -328,9 +464,15 @@ func (s *SM) insertReady(sch *scheduler, w *Warp) {
 	}
 	a[i] = e
 	sch.ready = a
+	if i < sch.prefixLen {
+		// A possibly-issuable entry landed inside the cached non-issuable
+		// prefix; rescan from the top.
+		sch.prefixLen = 0
+	}
 }
 
-// removeReady removes w from the scheduler's ready cache if present.
+// removeReady removes w from the scheduler's ready cache — or from the
+// parked list, where gated warps sit with inReady still set — if present.
 func (s *SM) removeReady(sch *scheduler, w *Warp) {
 	if !w.inReady {
 		return
@@ -338,6 +480,15 @@ func (s *SM) removeReady(sch *scheduler, w *Warp) {
 	w.inReady = false
 	if i := findReady(sch, w); i >= 0 {
 		removeReadyAt(sch, i)
+		return
+	}
+	for i := range sch.parked {
+		if sch.parked[i].w == w {
+			copy(sch.parked[i:], sch.parked[i+1:])
+			sch.parked[len(sch.parked)-1] = readyEnt{}
+			sch.parked = sch.parked[:len(sch.parked)-1]
+			return
+		}
 	}
 }
 
@@ -359,26 +510,35 @@ func removeReadyAt(sch *scheduler, i int) {
 	copy(a[i:], a[i+1:])
 	a[len(a)-1] = readyEnt{}
 	sch.ready = a[:len(a)-1]
+	if i < sch.prefixLen {
+		// Removing a non-issuable entry keeps the rest of the prefix
+		// non-issuable; prefixUntil and the block flags stay conservative
+		// (the removed entry can only have tightened them).
+		sch.prefixLen--
+	}
 }
 
 // issuable applies the quota gate and structural (LD/ST port, MSHR,
 // memory backpressure) constraints to a ready warp.
 func (s *SM) issuable(now int64, w *Warp) bool {
-	return s.gateOK[w.slot] && s.structuralOK(w.slot, &w.body[w.pc])
+	return s.gateOK[w.slot] && s.structuralOK(now, w.slot, &w.body[w.pc])
 }
 
 // structuralOK checks the per-cycle structural constraints for the warp's
-// next instruction.
-func (s *SM) structuralOK(slot int, in *isa.Instr) bool {
+// next instruction, recording every block in the scan memo so later
+// entries of the same class skip the re-derivation (see pick).
+func (s *SM) structuralOK(now int64, slot int, in *isa.Instr) bool {
 	if in.Op.IsGlobalMem() {
 		if s.memIssues >= s.cfg.MemPortsPerSM {
 			s.BlockPort++
 			s.sawPort = true
+			s.portBlockCycle = now
 			return false
 		}
 		if in.Op == isa.OpLdGlobal && s.outstanding >= s.cfg.MSHRsPerSM {
 			s.BlockMSHR++
 			s.sawMSHR = true
+			s.mshrEpoch = s.structEpoch
 			return false
 		}
 		// Credit-based flow control with a guaranteed minimum per
@@ -390,6 +550,7 @@ func (s *SM) structuralOK(slot int, in *isa.Instr) bool {
 		if s.txnFlight[slot] >= s.txnCapCache && s.txnTotal >= s.cfg.TxnFlightCapPerSM {
 			s.BlockCredit++
 			s.sawCredit = true
+			s.creditEpoch[slot] = s.structEpoch
 			return false
 		}
 	}
@@ -695,6 +856,8 @@ func (s *SM) compact(sch *scheduler) {
 // budget: the SM total split across resident kernels, floored so a
 // kernel is never locked out entirely. Called whenever the resident
 // kernel count changes instead of dividing on every structural check.
+// A budget change can turn a recorded credit block stale, so the
+// structural-block memo is invalidated here too.
 func (s *SM) refreshTxnCap() {
 	n := s.residentKernels
 	if n < 1 {
@@ -705,6 +868,7 @@ func (s *SM) refreshTxnCap() {
 		c = 8
 	}
 	s.txnCapCache = c
+	s.structEpoch++
 }
 
 // countTxn charges one of the slot's in-flight transaction credits
@@ -775,17 +939,38 @@ func popHeap(h *[]int64) {
 	*h = a
 }
 
-// readyEnt is one ready-cache entry: the warp plus mirrored slot, age
-// and wake-time fields, so scan skip decisions read this contiguous
-// slice instead of dereferencing scattered warp contexts. readyAt may
-// lag the warp's own (it is refreshed on dereference); it never exceeds
-// it, so a stale value can only cost an extra dereference, not a
-// skipped issue.
+// Op classes mirrored into ready-cache entries, so the scan's
+// structural-block memo can classify an entry without dereferencing the
+// warp context. The class describes the warp's *next* instruction; it is
+// refreshed wherever readyAt is (insert and post-issue).
+const (
+	clsCompute = uint8(iota) // no SM-wide structural constraint
+	clsLdGlobal              // port + MSHR + credit constrained
+	clsStGlobal              // port + credit constrained
+)
+
+// opClass maps an opcode to its scan class.
+func opClass(op isa.Op) uint8 {
+	switch op {
+	case isa.OpLdGlobal:
+		return clsLdGlobal
+	case isa.OpStGlobal:
+		return clsStGlobal
+	}
+	return clsCompute
+}
+
+// readyEnt is one ready-cache entry: the warp plus mirrored slot, age,
+// wake-time and op-class fields, so scan skip decisions read this
+// contiguous slice instead of dereferencing scattered warp contexts.
+// The mirrors are exact: every path that changes the warp's readyAt or
+// advances its pc while the entry is cached refreshes them.
 type readyEnt struct {
 	w       *Warp
 	age     int64
 	readyAt int64
 	slot    int32
+	cls     uint8
 }
 
 // ---- wake-time min-heap (warp pointer payload) ----

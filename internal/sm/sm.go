@@ -105,12 +105,29 @@ type scheduler struct {
 	warps       []*Warp    // every assigned warp, age order (lazily compacted)
 	ready       []readyEnt // live ready/short-backoff warps, oldest first
 	wakeQ       []wakeEnt  // long sleepers keyed by wake time
+	parked      []readyEnt // quota-gated warps pulled out of scans (see pick)
 	ageSeq      int64      // next dispatch-order stamp
 	last        *Warp      // greedy target
 	lastIdx     int        // position hint of last in ready
 	nextWake    int64      // earliest cycle a scan can possibly issue
 	structSleep bool       // sleeping on an MSHR/credit block; pops rouse it
 	deadCnt     int        // lazily compacted finished warps
+
+	// Scan-prefix cache: the first prefixLen ready entries are known
+	// non-issuable — each is either waiting on a future readyAt (the
+	// earliest of which is prefixUntil) or blocked on an MSHR/credit
+	// recorded under prefixEpoch. The prefix holds no port-blocked
+	// entries (those clear every cycle), so it stays valid until the
+	// structural epoch moves, the earliest waiter matures, or an
+	// insertion/removal disturbs the region — and scans restart past it
+	// instead of re-proving the same blocks every cycle. prefixMSHR and
+	// prefixCredit carry the skipped entries' block causes into the
+	// scan's stall classification.
+	prefixLen    int
+	prefixUntil  int64
+	prefixEpoch  int64
+	prefixMSHR   bool
+	prefixCredit bool
 }
 
 // SM is one streaming multiprocessor.
@@ -155,7 +172,17 @@ type SM struct {
 
 	// Per-cycle issue limits and cached per-cycle state.
 	memIssues int
-	gateOK    []bool // per-slot CanIssue result for the current cycle
+	gateOK    []bool // per-slot CanIssue result, valid until gateDirty
+
+	// Quota-gate cache. CanIssue is a pure function of the gate's
+	// per-SM counters, and every mutation that can flip its result for
+	// this SM (a counter crossing zero on issue, a replenish or epoch
+	// refresh, a gate swap, residency changes) wakes the SM — so the
+	// per-slot results are recomputed only when gateDirty is set instead
+	// of per cycle. gatedResident mirrors the slots with !gateOK and
+	// resident TBs (the set charged ThrottledCycles each cycle).
+	gateDirty     bool
+	gatedResident []int32
 
 	// Structural-block causes seen by the current pick scan; pick resets
 	// them and uses them to compute an exact re-check time instead of
@@ -163,6 +190,18 @@ type SM struct {
 	sawPort   bool
 	sawMSHR   bool
 	sawCredit bool
+
+	// Structural-block memo. Between invalidation points, blockedness is
+	// monotone: within a cycle memIssues, outstanding, txnFlight and
+	// txnTotal only grow, and across cycles they shrink only at a
+	// completion-heap pop or a credit-budget raise (refreshTxnCap) — both
+	// bump structEpoch. A scan can therefore skip a memory entry whose
+	// block was already established (same epoch / same cycle for the
+	// per-cycle port limit) without re-deriving it from the warp context.
+	structEpoch    int64
+	mshrEpoch      int64   // epoch the MSHR pool was last found full
+	creditEpoch    []int64 // per slot: epoch its credit budget was found spent
+	portBlockCycle int64   // cycle the LD/ST ports were last found saturated
 
 	// Idle fast-path: when a Cycle issues nothing, every scheduler's
 	// nextWake is in the future and the SM can skip whole cycles until
@@ -219,6 +258,11 @@ func New(id int, cfg config.GPU, memSys *mem.System) *SM {
 		memSys: memSys,
 		l1:     cache.New(cfg.L1),
 		scheds: make([]scheduler, cfg.WarpSchedulers),
+		// Epoch 0 is the zero value of the per-slot memo entries; start at
+		// 1 so a fresh SM reads "nothing blocked". The port memo compares
+		// against the current cycle, which starts at 0.
+		structEpoch:    1,
+		portBlockCycle: -1,
 	}
 	return s
 }
@@ -238,11 +282,22 @@ func (s *SM) Configure(kernels []*kern.Kernel, stats []*metrics.KernelStats, gat
 	s.gateOK = make([]bool, len(kernels))
 	s.txnHeap = make([][]int64, len(kernels))
 	s.txnFlight = make([]int, len(kernels))
+	s.creditEpoch = make([]int64, len(kernels))
+	s.gatedResident = make([]int32, 0, len(kernels))
 	for i := range kernels {
 		s.kernels[i] = kernelState{kernel: kernels[i], stats: stats[i], cap: -1}
 	}
 	s.sampleScratch = make([]int, len(kernels))
+	// Seed the park buffers: a closing quota gate parks a whole slot's
+	// ready warps at once, and growing the slices from nil on that hot
+	// path costs a run of doubling allocations per scheduler.
+	for i := range s.scheds {
+		if cap(s.scheds[i].parked) == 0 {
+			s.scheds[i].parked = make([]readyEnt, 0, 16)
+		}
+	}
 	s.gate = gate
+	s.gateDirty = true
 	s.refreshTxnCap()
 }
 
@@ -270,6 +325,7 @@ func (s *SM) SetGate(gate QuotaGate) {
 	s.settleIdle()
 	s.idleUntil = 0
 	s.gate = gate
+	s.gateDirty = true
 	for i := range s.scheds {
 		s.scheds[i].nextWake = 0
 	}
@@ -401,6 +457,9 @@ func (s *SM) Dispatch(now int64, slot, gridIdx int, resume *TBContext) *TB {
 	}
 	s.settleIdle()
 	s.idleUntil = 0
+	// Residency is about to change: the throttled-resident set (and,
+	// with it, per-cycle ThrottledCycles attribution) may change too.
+	s.gateDirty = true
 	ks := &s.kernels[slot]
 	k := ks.kernel
 	r := k.TBResources()
@@ -484,10 +543,23 @@ func (s *SM) Dispatch(now int64, slot, gridIdx int, resume *TBContext) *TB {
 
 // DeferTB postpones the first issue of every warp in tb until the given
 // cycle; the dispatcher uses this to charge context-restore latency.
+// Ready-cache mirrors are refreshed in place: the scan's structural-block
+// memo trusts a mirrored readyAt <= now without dereferencing the warp,
+// so the mirror must never understate the warp's wake time. (Warps parked
+// behind the quota gate keep their stale mirror — unparking re-files them
+// from the warp's own readyAt.)
 func (s *SM) DeferTB(tb *TB, until int64) {
 	for _, w := range tb.Warps {
-		if !w.done && w.readyAt < until {
-			w.readyAt = until
+		if w.done || w.readyAt >= until {
+			continue
+		}
+		w.readyAt = until
+		if !w.inReady {
+			continue
+		}
+		sch := &s.scheds[w.schedIdx]
+		if i := findReady(sch, w); i >= 0 {
+			sch.ready[i].readyAt = until
 		}
 	}
 }
@@ -497,9 +569,43 @@ func (s *SM) DeferTB(tb *TB, until int64) {
 func (s *SM) Wake(now int64) {
 	s.settleIdle()
 	s.idleUntil = 0
+	s.gateDirty = true
 	for i := range s.scheds {
 		if s.scheds[i].nextWake > now {
 			s.scheds[i].nextWake = now
 		}
+	}
+}
+
+// NextEventAt returns the first cycle >= a at which Cycle would do real
+// work: the SM is past both its blocked window (drain/context movement)
+// and its idle window. Cycles before it are no-ops apart from idle-skip
+// counting, which CreditIdle reproduces; the GPU's event wheel uses the
+// pair to fast-forward stretches where every SM sleeps.
+func (s *SM) NextEventAt(a int64) int64 {
+	t := s.BlockedUntil
+	if s.idleUntil > t {
+		t = s.idleUntil
+	}
+	if t < a {
+		return a
+	}
+	return t
+}
+
+// CreditIdle accounts the cycles in [from, to) the event wheel skipped
+// for this SM exactly as per-cycle stepping would have: one idle skip for
+// every cycle at/after BlockedUntil but before idleUntil (blocked cycles
+// return before idle counting; active cycles cannot be inside a skipped
+// stretch — NextEventAt bounds it).
+func (s *SM) CreditIdle(from, to int64) {
+	if s.BlockedUntil > from {
+		from = s.BlockedUntil
+	}
+	if s.idleUntil < to {
+		to = s.idleUntil
+	}
+	if to > from {
+		s.idleSkips += to - from
 	}
 }
