@@ -15,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench race chaos fuzz staticcheck bench-trace bench-core bench-json bench-gate ci clean
+.PHONY: all build test bench race chaos fuzz staticcheck bench-trace bench-core bench-json bench-gate fleet ci clean
 
 all: build
 
@@ -74,11 +74,13 @@ bench-trace:
 	$(GO) test -bench=BenchmarkEmit -benchtime=100x -run='^$$' ./internal/trace
 
 # Simulator-core benchmarks: throughput (serial and sharded stepping),
-# the admission fast-path latency benchmark (p50-ns / speedup-x), and
-# the distributed-sweep coordination-tax benchmark (overhead-pct).
+# the admission and fleet-placement fast-path latency benchmarks
+# (p50-ns / speedup-x), and the distributed-sweep coordination-tax
+# benchmark (overhead-pct).
 bench-core:
 	$(GO) test -bench='BenchmarkSimulatorCycles' -benchtime=3x -benchmem -count=1 -run='^$$' .
 	$(GO) test -bench='BenchmarkAdmission' -benchtime=200x -benchmem -count=1 -run='^$$' ./internal/server
+	$(GO) test -bench='BenchmarkFleetPlacement' -benchtime=200x -benchmem -count=1 -run='^$$' ./internal/fleet
 	$(GO) test -bench='BenchmarkDistSweepOverhead' -benchtime=5x -benchmem -count=1 -run='^$$' ./internal/distsweep
 
 # Rewrite the committed performance baseline from the current tree. Run
@@ -99,11 +101,20 @@ fuzz:
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=10s
 	$(GO) test ./internal/distsweep -run='^$$' -fuzz=FuzzLeaseDecode -fuzztime=10s
 
+# Fleet smoke: the multi-node placement acceptance suite — deterministic
+# placements with byte-identical journal recovery on the heterogeneous
+# 4-node fleet, the repartition-beats-first-fit scenario, and the /v2
+# HTTP surface — raced and uncached.
+fleet:
+	$(GO) test -race -count=1 -run 'TestFleetPlacementDeterminism|TestRepartitionPlacesWhatFirstFitRejects' ./internal/fleet
+	$(GO) test -race -count=1 -run 'TestV2' ./internal/server
+
 ci:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(MAKE) race
 	$(MAKE) chaos
+	$(MAKE) fleet
 	$(GO) test ./...
 	$(GO) test -run 'TestEndpointsSmoke|TestAdmissionTable' -count=1 ./internal/server
 	$(MAKE) bench-trace

@@ -28,6 +28,17 @@
 // by `sweep -fit` under this exact device/window/seed/scheme, decides
 // covered mixes analytically — falling back to full simulation whenever
 // a predicted goal ratio lands within -uncertainty of its boundary.
+//
+// With -fleet the daemon additionally serves the /v2 fractional-GPU
+// API: a registry of N simulated nodes (comma-separated device names,
+// e.g. -fleet base,base,scale56) behind a deterministic bin-packing
+// placement scheduler with per-node tiered admission and a
+// repartitioning fallback:
+//
+//	qosd -addr :8715 -fleet base,base -fleet-journal fleetdir
+//	curl -s localhost:8715/v2/jobs -d '{"workload":"sgemm","gpu_fraction":0.5,"goal":0.5}'
+//	curl -s localhost:8715/v2/nodes
+//	curl -s localhost:8715/v2/placements
 package main
 
 import (
@@ -38,12 +49,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/perfmodel"
 	"repro/internal/retry"
 	"repro/internal/server"
@@ -68,6 +81,9 @@ type options struct {
 	uncertainty float64
 	cacheSize   int
 	stallAfter  time.Duration
+	fleetNodes  string
+	fleetJnlDir string
+	fleetMix    int
 }
 
 func main() {
@@ -88,12 +104,50 @@ func main() {
 	flag.Float64Var(&o.uncertainty, "uncertainty", server.DefaultUncertaintyBand, "model trust margin: goal ratios within ±band of 1.0 escape to simulation")
 	flag.IntVar(&o.cacheSize, "verdict-cache", server.DefaultVerdictCacheSize, "exact verdict cache capacity")
 	flag.DurationVar(&o.stallAfter, "stall-after", server.DefaultStallAfter, "decision-loop liveness threshold: /healthz reports decision_loop_stalled (503) when one decision is in flight longer than this")
+	flag.StringVar(&o.fleetNodes, "fleet", "", "serve the /v2 fleet API over these nodes: comma-separated device names (base|scale56), e.g. base,base,scale56")
+	flag.StringVar(&o.fleetJnlDir, "fleet-journal", "", "fleet journal directory (per-node decision journals + placement journal); requires -fleet")
+	flag.IntVar(&o.fleetMix, "fleet-mix", 0, "max concurrently placed kernels per fleet node (0 = fleet default)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "qosd:", err)
 		os.Exit(1)
 	}
+}
+
+// buildFleet assembles the optional /v2 fleet from the -fleet node
+// list. Each comma-separated token names a device configuration.
+func buildFleet(o options, scheme core.Scheme) (*fleet.Fleet, error) {
+	if o.fleetNodes == "" {
+		if o.fleetJnlDir != "" {
+			return nil, errors.New("-fleet-journal requires -fleet")
+		}
+		return nil, nil
+	}
+	var nodes []fleet.NodeSpec
+	for _, tok := range strings.Split(o.fleetNodes, ",") {
+		name := strings.ToLower(strings.TrimSpace(tok))
+		switch name {
+		case "base":
+			nodes = append(nodes, fleet.NodeSpec{Name: name, GPU: config.Base()})
+		case "scale56":
+			nodes = append(nodes, fleet.NodeSpec{Name: name, GPU: config.Scale56()})
+		default:
+			return nil, fmt.Errorf("-fleet: unknown device %q (want base or scale56)", tok)
+		}
+	}
+	return fleet.New(fleet.Config{
+		Nodes:            nodes,
+		Scheme:           scheme,
+		Window:           o.window,
+		Seed:             workloads.Seed,
+		MaxMixPerNode:    o.fleetMix,
+		QueueDepth:       o.queue,
+		FastPath:         o.fastPath,
+		UncertaintyBand:  o.uncertainty,
+		VerdictCacheSize: o.cacheSize,
+		JournalDir:       o.fleetJnlDir,
+	})
 }
 
 func run(o options) error {
@@ -125,6 +179,10 @@ func run(o options) error {
 			return err
 		}
 	}
+	fl, err := buildFleet(o, scheme)
+	if err != nil {
+		return err
+	}
 	srv, err := server.New(server.Config{
 		Runner:           runner,
 		Scheme:           scheme,
@@ -136,6 +194,7 @@ func run(o options) error {
 		UncertaintyBand:  o.uncertainty,
 		VerdictCacheSize: o.cacheSize,
 		StallAfter:       o.stallAfter,
+		Fleet:            fl,
 	})
 	if err != nil {
 		return err
@@ -151,8 +210,12 @@ func run(o options) error {
 				fast = "cache+model"
 			}
 		}
-		fmt.Fprintf(os.Stderr, "qosd: serving on %s (scheme %s, %d workers, mix %d, fast path %s)\n",
-			o.addr, scheme.Name(), runner.Workers(), o.mix, fast)
+		fleetInfo := ""
+		if fl != nil {
+			fleetInfo = fmt.Sprintf(", fleet %d nodes", len(fl.Nodes()))
+		}
+		fmt.Fprintf(os.Stderr, "qosd: serving on %s (scheme %s, %d workers, mix %d, fast path %s%s)\n",
+			o.addr, scheme.Name(), runner.Workers(), o.mix, fast, fleetInfo)
 		errCh <- hs.ListenAndServe()
 	}()
 

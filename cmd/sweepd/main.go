@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsweep"
 	"repro/internal/exp"
+	"repro/internal/schema"
 	"repro/internal/workloads"
 )
 
@@ -128,7 +129,7 @@ func buildSpec(o options) (distsweep.Spec, error) {
 	}
 	sp := distsweep.Spec{
 		Mode:   o.mode,
-		Goals:  goals,
+		Goals:  schema.FracGoals(goals),
 		NQoS:   o.nQoS,
 		Scheme: o.scheme,
 		GPU:    cfg,

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/schema"
+)
+
+// ResolveGoal lowers a typed schema.Goal to the (GoalFrac, GoalIPC)
+// pair a KernelSpec carries. Fraction and IPC goals pass through;
+// deadline goals are resolved against the node's GPU config — subtract
+// the PCI-E input-transfer component from the budget, then derive the
+// architectural IPC target (IPCGoalForDeadline). Because the lowering
+// depends on cfg, a deadline goal can resolve to a different IPC target
+// on every node of a heterogeneous fleet; callers re-resolve per node.
+func ResolveGoal(cfg config.GPU, g schema.Goal) (goalFrac, goalIPC float64, err error) {
+	if err := g.Validate(); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadGoal, err)
+	}
+	switch g.Kind {
+	case schema.GoalNone:
+		return 0, 0, nil
+	case schema.GoalFrac:
+		return g.Frac, 0, nil
+	case schema.GoalIPC:
+		return 0, g.IPC, nil
+	}
+	d := g.Deadline
+	budget := d.Seconds
+	if d.TransferBytes > 0 {
+		gbps := d.PCIeGbps
+		if gbps == 0 {
+			gbps = 15.75 // PCIe 3.0 x16
+		}
+		lat := d.PCIeLatency
+		if lat == 0 {
+			lat = 10e-6
+		}
+		budget -= PCIeTransferSeconds(d.TransferBytes, gbps, lat)
+	}
+	if budget <= 0 {
+		return 0, 0, fmt.Errorf("%w: deadline consumed by PCI-E transfer", ErrBadGoal)
+	}
+	ipc, err := IPCGoalForDeadline(cfg, d.Instrs, budget)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadGoal, err)
+	}
+	return 0, ipc, nil
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/journal"
 	"repro/internal/retry"
+	"repro/internal/schema"
 	"repro/internal/workloads"
 )
 
@@ -48,7 +49,7 @@ func chaosSpec() Spec {
 			{QoS: "mri-q", NonQoS: "stencil"},
 			{QoS: "lbm", NonQoS: "sgemm"},
 		},
-		Goals:  []float64{0.4, 0.7},
+		Goals:  schema.FracGoals([]float64{0.4, 0.7}),
 		Scheme: "rollover",
 		GPU:    cfg,
 		Window: 30_000,
@@ -68,7 +69,7 @@ func serialOracle(t *testing.T, sp Spec) [][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cases, err := exp.PairSweep(context.Background(), s, sp.Pairs, sp.Goals, scheme, nil)
+	cases, err := exp.PairSweep(context.Background(), s, sp.Pairs, sp.FracAxis(), scheme, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -534,7 +535,7 @@ func TestSoakKillOne(t *testing.T) {
 			t.Fatal(err)
 		}
 		scheme, _ := sp.SchemeValue()
-		cases, err := exp.PairSweep(context.Background(), s, sp.Pairs, sp.Goals, scheme, nil)
+		cases, err := exp.PairSweep(context.Background(), s, sp.Pairs, sp.FracAxis(), scheme, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

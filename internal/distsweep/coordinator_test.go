@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/journal"
+	"repro/internal/schema"
 	"repro/internal/workloads"
 )
 
@@ -28,7 +29,7 @@ func testSpec() Spec {
 			{QoS: "sgemm", NonQoS: "lbm"},
 			{QoS: "mri-q", NonQoS: "stencil"},
 		},
-		Goals:  []float64{0.4, 0.7},
+		Goals:  schema.FracGoals([]float64{0.4, 0.7}),
 		Scheme: "rollover",
 		GPU:    cfg,
 		Window: 30_000,
@@ -68,7 +69,7 @@ func fakePayload(t *testing.T, sp Spec, i int) json.RawMessage {
 	}
 	c := exp.PairCase{
 		Pair:   sp.Pairs[i/len(sp.Goals)],
-		Goal:   sp.Goals[i%len(sp.Goals)],
+		Goal:   sp.Goals[i%len(sp.Goals)].Frac,
 		Scheme: scheme,
 		Res:    &core.Result{},
 	}
@@ -414,7 +415,7 @@ func TestStageKeyMatchesRunner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := exp.StageKey(s.Config(), s.Seed(), "pairs", scheme, exp.PairGrid{Pairs: sp.Pairs, Goals: sp.Goals})
+	want, err := exp.StageKey(s.Config(), s.Seed(), "pairs", scheme, exp.PairGrid{Pairs: sp.Pairs, Goals: sp.FracAxis()})
 	if err != nil {
 		t.Fatal(err)
 	}

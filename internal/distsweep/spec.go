@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/journal"
+	"repro/internal/schema"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -50,9 +51,14 @@ type Spec struct {
 	Pairs []workloads.Pair `json:"pairs,omitempty"`
 	// Trios is the trio grid (trios mode).
 	Trios []workloads.Trio `json:"trios,omitempty"`
-	// Goals is the QoS-goal axis; cases are ordered pair/trio-major,
-	// goal-minor, exactly like the serial sweeps.
-	Goals []float64 `json:"goals"`
+	// Goals is the QoS-goal axis as typed goals (schema.Goal); cases are
+	// ordered pair/trio-major, goal-minor, exactly like the serial
+	// sweeps. Sweeps sweep the paper's fraction-of-isolated-IPC axis, so
+	// every goal must be the frac form — which marshals as a bare JSON
+	// number, keeping the wire bytes (and therefore journal stage keys)
+	// identical to the historical []float64 encoding. Build with
+	// schema.FracGoals.
+	Goals []schema.Goal `json:"goals"`
 	// NQoS is the QoS kernel count per trio (1 or 2; trios mode).
 	NQoS int `json:"nqos,omitempty"`
 	// Scheme names the QoS scheme (core.ParseScheme).
@@ -93,10 +99,28 @@ func (sp Spec) Validate() error {
 	if len(sp.Goals) == 0 {
 		return errors.New("distsweep: spec has no goals")
 	}
+	for i, g := range sp.Goals {
+		if g.Kind != schema.GoalFrac {
+			return fmt.Errorf("distsweep: goal %d is %q-form; sweep axes are fractions of isolated IPC", i, g.Kind)
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("distsweep: goal %d: %w", i, err)
+		}
+	}
 	if _, err := core.ParseScheme(sp.Scheme); err != nil {
 		return err
 	}
 	return nil
+}
+
+// FracAxis lowers the goal axis to the bare fractions the exp grids and
+// stage-key hashes have always used.
+func (sp Spec) FracAxis() []float64 {
+	out := make([]float64, len(sp.Goals))
+	for i, g := range sp.Goals {
+		out[i] = g.Frac
+	}
+	return out
 }
 
 // Total returns the case count of the grid.
@@ -132,9 +156,9 @@ func (sp Spec) SessionOptions() []core.Option {
 // Runner hashes, so stage keys agree.
 func (sp Spec) Grid() any {
 	if sp.Mode == ModeTrios {
-		return exp.TrioGrid{Trios: sp.Trios, Goals: sp.Goals, NQoS: sp.NQoS}
+		return exp.TrioGrid{Trios: sp.Trios, Goals: sp.FracAxis(), NQoS: sp.NQoS}
 	}
-	return exp.PairGrid{Pairs: sp.Pairs, Goals: sp.Goals}
+	return exp.PairGrid{Pairs: sp.Pairs, Goals: sp.FracAxis()}
 }
 
 // HeaderHash is the journal header hash binding a journal file to this
@@ -181,7 +205,7 @@ func (sp Spec) StageKey() (string, error) {
 // Describe renders one case's grid coordinates for logs and failure
 // reports, mirroring the local Runner's describe strings.
 func (sp Spec) Describe(i int) string {
-	g := sp.Goals[i%len(sp.Goals)]
+	g := sp.Goals[i%len(sp.Goals)].Frac
 	if sp.Mode == ModeTrios {
 		t := sp.Trios[i/len(sp.Goals)]
 		return fmt.Sprintf("trio[%d] %s+%s+%s @%.2f", i/len(sp.Goals), t.A, t.B, t.C, g)
@@ -196,7 +220,7 @@ func (sp Spec) CaseSpecs(i int) ([]core.KernelSpec, error) {
 	if i < 0 || i >= sp.Total() {
 		return nil, fmt.Errorf("distsweep: case index %d outside grid [0,%d)", i, sp.Total())
 	}
-	g := sp.Goals[i%len(sp.Goals)]
+	g := sp.Goals[i%len(sp.Goals)].Frac
 	if sp.Mode == ModeTrios {
 		specs, _ := exp.TrioSpecs(sp.Trios[i/len(sp.Goals)], g, sp.NQoS)
 		return specs, nil
@@ -228,7 +252,7 @@ func (sp Spec) RunCaseTraced(ctx context.Context, s *core.Session, i int, tr *tr
 	if err != nil {
 		return nil, nil, err
 	}
-	g := sp.Goals[i%len(sp.Goals)]
+	g := sp.Goals[i%len(sp.Goals)].Frac
 	var v any
 	if sp.Mode == ModeTrios {
 		_, qg := exp.TrioSpecs(sp.Trios[i/len(sp.Goals)], g, sp.NQoS)

@@ -203,24 +203,8 @@ func (r *Runner) With(extra ...core.Option) (*Runner, error) {
 		WithTraceDir(r.traceDir, r.traceFormat))
 }
 
-// SetTraceDir enables per-case event tracing for subsequent sweeps.
-//
-// Deprecated: pass WithTraceDir to NewRunner instead, which keeps the
-// Runner immutable after construction. This wrapper survives one release
-// for migration; it must not be called concurrently with a sweep or Do.
-func (r *Runner) SetTraceDir(dir string, f trace.Format) error {
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	r.traceDir = dir
-	r.traceFormat = f
-	return nil
-}
-
 // runCase executes one sweep case, with a per-case tracer and trace file
-// when SetTraceDir configured one. name must be unique within the sweep
+// when WithTraceDir configured one. name must be unique within the sweep
 // (it keys the output file).
 func (r *Runner) runCase(ctx context.Context, s *core.Session, name string, specs []core.KernelSpec, scheme core.Scheme) (*core.Result, error) {
 	if r.traceDir == "" {
@@ -237,13 +221,6 @@ func (r *Runner) runCase(ctx context.Context, s *core.Session, name string, spec
 	}
 	return res, nil
 }
-
-// SetFaultPolicy installs the fault policy for subsequent sweeps.
-//
-// Deprecated: pass WithFaultPolicy to NewRunner instead, which keeps the
-// Runner immutable after construction. This wrapper survives one release
-// for migration; it must not be called concurrently with a sweep or Do.
-func (r *Runner) SetFaultPolicy(p FaultPolicy) { r.fault = p }
 
 // Do borrows one worker session from the pool and runs fn under the same
 // fault boundary a sweep case gets: panics are converted to *PanicError,

@@ -77,28 +77,3 @@ func TestTraceDirPropagatesThroughWith(t *testing.T) {
 		t.Fatal("With dropped the trace configuration")
 	}
 }
-
-// TestDeprecatedSettersStillWork keeps the migration wrappers honest for
-// the release they survive: SetTraceDir and SetFaultPolicy must behave
-// exactly like their option counterparts.
-func TestDeprecatedSettersStillWork(t *testing.T) {
-	dir := filepath.Join(t.TempDir(), "traces")
-	r, err := NewRunner(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := r.SetTraceDir(dir, trace.FormatJSONL); err != nil {
-		t.Fatal(err)
-	}
-	if r.traceDir != dir || r.traceFormat != trace.FormatJSONL {
-		t.Fatal("SetTraceDir did not install the trace configuration")
-	}
-	if _, err := os.Stat(dir); err != nil {
-		t.Fatalf("SetTraceDir did not create the directory: %v", err)
-	}
-	fp := FaultPolicy{FailFast: true}
-	r.SetFaultPolicy(fp)
-	if got := r.FaultPolicyInEffect(); !got.FailFast {
-		t.Fatal("SetFaultPolicy did not install the policy")
-	}
-}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// benchFleet builds a two-node fleet over a 30k-cycle window (the same
+// device/window as BenchmarkAdmission, so the two latency gates are
+// comparable).
+func benchFleet(b *testing.B, fastPath bool) *Fleet {
+	b.Helper()
+	f, err := New(Config{
+		Nodes: []NodeSpec{
+			{Name: "a", GPU: config.Base()},
+			{Name: "b", GPU: config.Base()},
+		},
+		Scheme:        core.SchemeRollover,
+		Window:        30_000,
+		MaxMixPerNode: 1,
+		FastPath:      fastPath,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		f.Shutdown(ctx)
+	})
+	return f
+}
+
+// placeOnce drives one submit→place→release round trip and returns the
+// submit-to-outcome latency.
+func placeOnce(b *testing.B, f *Fleet, req Request) time.Duration {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	start := time.Now()
+	j, err := f.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := f.Wait(ctx, j.ID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := time.Since(start)
+	if v.State == StatePlaced {
+		if err := f.Release(j.ID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+func p50(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// BenchmarkFleetPlacement measures the fleet scheduler's
+// submit-to-placement latency on a cache-warm request stream and
+// reports it against the simulate-every-candidate baseline:
+//
+//	p50-ns    — median placement decision latency (cache-warm)
+//	speedup-x — baseline sim-tier p50 over fast-path p50
+//
+// benchgate enforces a ceiling on p50-ns and a ≥50× floor on speedup-x
+// (BENCH_core.json). The stream alternates QoS and best-effort
+// fractional requests so both placement dimensions are exercised.
+func BenchmarkFleetPlacement(b *testing.B) {
+	reqs := []Request{
+		{Workload: "sgemm", GPUFraction: 0.5, Goal: goalOf(0.5)},
+		{Workload: "sgemm", GPUFraction: 0.9, Goal: goalOf(0.95)},
+		{Workload: "lbm", VGPUCores: 40, VGPUMemory: 60, Goal: goalOf(0.3)},
+		{Workload: "histo", GPUFraction: 0.25},
+	}
+
+	// Baseline: fast path off — every capacity-feasible candidate node
+	// simulates the what-if co-run.
+	base := benchFleet(b, false)
+	var baseLat []time.Duration
+	for round := 0; round < 3; round++ {
+		for _, req := range reqs {
+			baseLat = append(baseLat, placeOnce(b, base, req))
+		}
+	}
+	basePC := p50(baseLat)
+
+	// Fast path: one warm-up pass seeds every node's verdict cache, then
+	// every timed placement decides from exact-cache hits.
+	f := benchFleet(b, true)
+	for _, req := range reqs {
+		placeOnce(b, f, req)
+	}
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lat = append(lat, placeOnce(b, f, reqs[i%len(reqs)]))
+	}
+	b.StopTimer()
+	fast := p50(lat)
+	if fast <= 0 {
+		fast = 1
+	}
+	b.ReportMetric(float64(fast.Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(basePC)/float64(fast), "speedup-x")
+}

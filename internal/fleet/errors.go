@@ -1,0 +1,24 @@
+package fleet
+
+import "errors"
+
+// Sentinels of the fleet placement layer. internal/server's httpStatus
+// is the single place they become HTTP status codes (the /v2 API).
+var (
+	// ErrQueueFull rejects a submission because the bounded placement
+	// queue is at capacity. Clients should back off (429 + Retry-After).
+	ErrQueueFull = errors.New("fleet: placement queue full")
+	// ErrNoPlacement marks a job no node could host: either no node has
+	// the fractional capacity, or every capacity-feasible what-if co-run
+	// missed a QoS goal — even after the repartitioning search.
+	ErrNoPlacement = errors.New("fleet: no feasible placement")
+	// ErrUnknownJob is returned for job ids the fleet has never issued.
+	ErrUnknownJob = errors.New("fleet: unknown job")
+	// ErrUnknownNode is returned for node ids outside the registry.
+	ErrUnknownNode = errors.New("fleet: unknown node")
+	// ErrDraining rejects work because the fleet is shutting down.
+	ErrDraining = errors.New("fleet: draining")
+	// ErrBadRequest wraps request validation failures (missing workload,
+	// conflicting share fields, shares outside (0,1]).
+	ErrBadRequest = errors.New("fleet: bad request")
+)

@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/schema"
+	"repro/internal/verdict"
+)
+
+// capEps absorbs float accumulation error in the capacity ledger so a
+// node packed with 10× 0.1 shares still counts as exactly full.
+const capEps = 1e-9
+
+// MixEntry is one kernel of a node's resident mix as journaled with
+// every decision (enough to rebuild the what-if spec on replay).
+type MixEntry struct {
+	JobID    string  `json:"job_id"`
+	Workload string  `json:"workload"`
+	GoalFrac float64 `json:"goal_frac,omitempty"`
+	GoalIPC  float64 `json:"goal_ipc,omitempty"`
+}
+
+// NodeDecision is one per-node admission decision journal entry: the
+// resident mix, the candidate, and the verdict the tiered decider
+// produced. Replaying the sequence re-evolves the node's verdict cache
+// exactly, so a restarted node serves the same tiers for the same
+// future traffic.
+type NodeDecision struct {
+	JobID     string          `json:"job_id"`
+	Mix       []MixEntry      `json:"mix,omitempty"`
+	Candidate MixEntry        `json:"candidate"`
+	Verdict   *schema.Verdict `json:"verdict"`
+}
+
+// placedEntry is one job resident on a node.
+type placedEntry struct {
+	job    *Job
+	spec   core.KernelSpec
+	shares Shares
+}
+
+// evalReq asks a node's decision loop for a what-if verdict on the
+// given spec list (mix + candidate last). The spec snapshot is built
+// by the placement goroutine, so repartition searches can pose
+// counterfactual mixes ("A's mix without m, plus j") with the same
+// machinery as plain placement.
+type evalReq struct {
+	specs []core.KernelSpec
+	ids   []string
+	jobID string
+	reply chan evalResp
+}
+
+type evalResp struct {
+	v   *schema.Verdict
+	err error
+}
+
+// node is one simulated GPU in the fleet: its own simulator session,
+// tiered verdict decider, crash-safe decision journal, and a decision
+// loop goroutine so nodes evaluate placements concurrently.
+type node struct {
+	id     string
+	name   string
+	idx    int
+	cfg    config.GPU
+	sess   *core.Session
+	dec    *verdict.Decider
+	scheme core.Scheme
+	maxMix int
+	jnl    *journal.Journal // nil when journaling is disabled
+	ctx    context.Context
+	evalCh chan evalReq
+
+	mu       sync.Mutex
+	mix      []*placedEntry // admission order
+	usedSM   float64
+	usedMem  float64
+	tiers    map[string]int
+	simEvals int
+	nextDec  int // next decision journal index
+}
+
+// NodeView is the wire-ready snapshot of one node.
+type NodeView struct {
+	ID           string         `json:"id"`
+	Name         string         `json:"name,omitempty"`
+	NumSMs       int            `json:"num_sms"`
+	WindowCycles int64          `json:"window_cycles"`
+	MaxMix       int            `json:"max_mix"`
+	UsedSM       float64        `json:"used_sm"`
+	UsedMem      float64        `json:"used_mem"`
+	Jobs         []string       `json:"jobs,omitempty"`
+	Tiers        map[string]int `json:"tiers,omitempty"`
+	SimEvals     int            `json:"sim_evals"`
+	CacheLen     int            `json:"verdict_cache_len"`
+	Decisions    int            `json:"decisions"`
+}
+
+const decisionStage = "decisions"
+
+// loop is the node's decision loop: it serializes what-if evaluations
+// on this device while other nodes evaluate in parallel.
+func (n *node) loop() {
+	for req := range n.evalCh {
+		v, err := n.evaluate(req)
+		req.reply <- evalResp{v: v, err: err}
+	}
+}
+
+// eval runs one synchronous what-if evaluation through the node loop.
+func (n *node) eval(specs []core.KernelSpec, ids []string, jobID string) (*schema.Verdict, error) {
+	reply := make(chan evalResp, 1)
+	n.evalCh <- evalReq{specs: specs, ids: ids, jobID: jobID, reply: reply}
+	r := <-reply
+	return r.v, r.err
+}
+
+// evaluate decides one what-if co-run through the tiered path: exact
+// cache, perf model inside its confidence band, then full simulation.
+// Every successful decision is journaled before the verdict is
+// returned, so a crash can never admit a job the journal forgot.
+func (n *node) evaluate(req evalReq) (*schema.Verdict, error) {
+	scheme := verdict.EffectiveScheme(n.scheme, req.specs)
+	sigs := verdict.KernelSigsOf(req.specs)
+	sig := n.dec.SignatureFor(sigs, scheme.Name())
+	fr := n.dec.TryFast(sig, sigs, req.ids, scheme.Name())
+	v := fr.V
+	if v == nil {
+		res, err := n.sess.Run(n.ctx, req.specs, scheme)
+		if err != nil {
+			return nil, err
+		}
+		v = verdict.SimVerdict(res, req.ids, sig)
+		n.dec.Store(sig, v, sigs)
+		n.mu.Lock()
+		n.simEvals++
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.tiers[v.Tier]++
+	idx := n.nextDec
+	n.nextDec++
+	n.mu.Unlock()
+	if n.jnl != nil {
+		d := NodeDecision{JobID: req.jobID, Verdict: v}
+		for i, s := range req.specs {
+			me := MixEntry{JobID: req.ids[i], Workload: s.Workload, GoalFrac: s.GoalFrac, GoalIPC: s.GoalIPC}
+			if i == len(req.specs)-1 {
+				d.Candidate = me
+			} else {
+				d.Mix = append(d.Mix, me)
+			}
+		}
+		if err := n.jnl.Append(decisionStage, idx, d); err != nil {
+			return nil, fmt.Errorf("node %s: journal decision %d: %w", n.id, idx, err)
+		}
+	}
+	return v, nil
+}
+
+// recover replays the node's decision journal in index order,
+// re-evolving the verdict cache: cache-tier hits refresh LRU recency,
+// model- and sim-tier verdicts are stored. No simulation runs.
+func (n *node) recover() error {
+	if n.jnl == nil {
+		return nil
+	}
+	done := n.jnl.Completed(decisionStage)
+	idxs := make([]int, 0, len(done))
+	for i := range done {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		var d NodeDecision
+		if err := json.Unmarshal(done[i], &d); err != nil {
+			return fmt.Errorf("node %s: decision %d: %w", n.id, i, err)
+		}
+		if d.Verdict == nil {
+			return fmt.Errorf("node %s: decision %d: missing verdict", n.id, i)
+		}
+		entries := append(append([]MixEntry(nil), d.Mix...), d.Candidate)
+		specs := make([]core.KernelSpec, len(entries))
+		for k, e := range entries {
+			specs[k] = core.KernelSpec{Workload: e.Workload, GoalFrac: e.GoalFrac, GoalIPC: e.GoalIPC}
+		}
+		scheme := verdict.EffectiveScheme(n.scheme, specs)
+		sigs := verdict.KernelSigsOf(specs)
+		sig := n.dec.SignatureFor(sigs, scheme.Name())
+		switch d.Verdict.Tier {
+		case schema.TierCache:
+			n.dec.Touch(sig)
+		default:
+			n.dec.Store(sig, d.Verdict, sigs)
+		}
+		n.tiers[d.Verdict.Tier]++
+		if d.Verdict.Tier == schema.TierSim {
+			n.simEvals++
+		}
+		n.nextDec = i + 1
+	}
+	return nil
+}
+
+// fits reports whether shares (plus one more mix slot) are available.
+func (n *node) fits(s Shares) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fitsLocked(s)
+}
+
+func (n *node) fitsLocked(s Shares) bool {
+	return len(n.mix) < n.maxMix &&
+		n.usedSM+s.SM <= 1+capEps &&
+		n.usedMem+s.Mem <= 1+capEps
+}
+
+// fitsWithout reports whether shares fit once the entry for jobID is
+// evicted — the capacity question the repartition search asks.
+func (n *node) fitsWithout(jobID string, s Shares) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	used := Shares{SM: n.usedSM, Mem: n.usedMem}
+	slots := len(n.mix)
+	for _, e := range n.mix {
+		if e.job.id == jobID {
+			used.SM -= e.shares.SM
+			used.Mem -= e.shares.Mem
+			slots--
+			break
+		}
+	}
+	return slots < n.maxMix && used.SM+s.SM <= 1+capEps && used.Mem+s.Mem <= 1+capEps
+}
+
+// leftover is the best-fit score: total unused capacity if shares were
+// placed here (smaller = tighter = preferred).
+func (n *node) leftover(s Shares) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return (1 - n.usedSM - s.SM) + (1 - n.usedMem - s.Mem)
+}
+
+// add makes a job resident.
+func (n *node) add(j *Job, spec core.KernelSpec, s Shares) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mix = append(n.mix, &placedEntry{job: j, spec: spec, shares: s})
+	n.usedSM += s.SM
+	n.usedMem += s.Mem
+}
+
+// remove evicts a job, freeing its capacity.
+func (n *node) remove(jobID string) *placedEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, e := range n.mix {
+		if e.job.id == jobID {
+			n.mix = append(n.mix[:i], n.mix[i+1:]...)
+			n.usedSM -= e.shares.SM
+			n.usedMem -= e.shares.Mem
+			if n.usedSM < 0 {
+				n.usedSM = 0
+			}
+			if n.usedMem < 0 {
+				n.usedMem = 0
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// mixSnapshot returns the resident specs/ids in admission order, and
+// optionally skips one job (for repartition counterfactuals).
+func (n *node) mixSnapshot(skipJobID string) ([]core.KernelSpec, []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	specs := make([]core.KernelSpec, 0, len(n.mix))
+	ids := make([]string, 0, len(n.mix))
+	for _, e := range n.mix {
+		if e.job.id == skipJobID {
+			continue
+		}
+		specs = append(specs, e.spec)
+		ids = append(ids, e.job.id)
+	}
+	return specs, ids
+}
+
+// entries snapshots the resident entries in admission order.
+func (n *node) entries() []*placedEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]*placedEntry(nil), n.mix...)
+}
+
+// view snapshots the node for the /v2/nodes API.
+func (n *node) view() NodeView {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v := NodeView{
+		ID:           n.id,
+		Name:         n.name,
+		NumSMs:       n.cfg.NumSMs,
+		WindowCycles: n.sess.Window(),
+		MaxMix:       n.maxMix,
+		UsedSM:       n.usedSM,
+		UsedMem:      n.usedMem,
+		SimEvals:     n.simEvals,
+		CacheLen:     n.dec.CacheLen(),
+		Decisions:    n.nextDec,
+		Tiers:        make(map[string]int, len(n.tiers)),
+	}
+	for k, c := range n.tiers {
+		v.Tiers[k] = c
+	}
+	for _, e := range n.mix {
+		v.Jobs = append(v.Jobs, e.job.id)
+	}
+	return v
+}

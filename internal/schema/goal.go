@@ -1,0 +1,209 @@
+package schema
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Goal is the typed union of the three QoS goal forms the system
+// accepts, replacing the ad-hoc "at most one of goal_frac / goal_ipc /
+// deadline" field triples that request decoding and sweep specs used to
+// validate independently. A Goal is exactly one of:
+//
+//   - none:     best effort, no QoS target (the zero value)
+//   - frac:     a fraction of isolated IPC in (0,1] — the paper's sweep axis
+//   - ipc:      an absolute thread-IPC target
+//   - deadline: an application deadline lowered to an IPC target per
+//     GPU config (core.ResolveGoal)
+//
+// The JSON encoding keeps the fraction form wire-compatible with the
+// bare numbers the distributed-sweep protocol has always shipped
+// ("goals":[0.5,0.9]): a frac goal marshals as a bare number and a bare
+// number unmarshals as a frac goal. The other forms are single-key
+// objects: {"ipc":2.5} and {"deadline":{...}}. null (or an omitted
+// field) is the none form.
+
+// Goal kind values of Goal.Kind.
+const (
+	GoalNone     = ""
+	GoalFrac     = "frac"
+	GoalIPC      = "ipc"
+	GoalDeadline = "deadline"
+)
+
+// ErrBadGoal marks a structurally invalid goal: more than one form set,
+// a fraction outside (0,1], a non-positive IPC target, or a deadline
+// with no instruction count or time budget.
+var ErrBadGoal = errors.New("schema: invalid goal")
+
+// Deadline is the OS-scheduler form of a QoS goal (paper Section 3.2):
+// run Instrs thread instructions within Seconds of end-to-end time.
+// When TransferBytes is set, the PCI-E input-transfer component is
+// subtracted from the budget before the IPC target is derived; Gbps
+// defaults to 15.75 (PCIe 3.0 x16) and latency to 10us.
+type Deadline struct {
+	Instrs        int64   `json:"instrs"`
+	Seconds       float64 `json:"seconds"`
+	TransferBytes int64   `json:"transfer_bytes,omitempty"`
+	PCIeGbps      float64 `json:"pcie_gbps,omitempty"`
+	PCIeLatency   float64 `json:"pcie_latency_s,omitempty"`
+}
+
+// Goal is one QoS target. The zero value is the none (best-effort)
+// form. Construct non-zero goals with FracGoal/IPCGoal/DeadlineGoal so
+// Kind and the payload field can never disagree.
+type Goal struct {
+	Kind     string
+	Frac     float64
+	IPC      float64
+	Deadline Deadline
+}
+
+// FracGoal returns the fraction-of-isolated-IPC form.
+func FracGoal(f float64) Goal { return Goal{Kind: GoalFrac, Frac: f} }
+
+// IPCGoal returns the absolute thread-IPC form.
+func IPCGoal(ipc float64) Goal { return Goal{Kind: GoalIPC, IPC: ipc} }
+
+// DeadlineGoal returns the application-deadline form.
+func DeadlineGoal(d Deadline) Goal { return Goal{Kind: GoalDeadline, Deadline: d} }
+
+// FracGoals lifts a slice of fractions (the sweep axis as every config
+// file and flag writes it) into frac goals.
+func FracGoals(fracs []float64) []Goal {
+	out := make([]Goal, len(fracs))
+	for i, f := range fracs {
+		out[i] = FracGoal(f)
+	}
+	return out
+}
+
+// IsZero reports the none (best-effort) form. json omitzero hook.
+func (g Goal) IsZero() bool { return g.Kind == GoalNone }
+
+// Validate checks the invariants of whichever form is set.
+func (g Goal) Validate() error {
+	switch g.Kind {
+	case GoalNone:
+		return nil
+	case GoalFrac:
+		if g.Frac <= 0 || g.Frac > 1 {
+			return fmt.Errorf("%w: goal fraction %v outside (0,1]", ErrBadGoal, g.Frac)
+		}
+	case GoalIPC:
+		if g.IPC <= 0 {
+			return fmt.Errorf("%w: IPC target %v must be positive", ErrBadGoal, g.IPC)
+		}
+	case GoalDeadline:
+		if g.Deadline.Instrs <= 0 {
+			return fmt.Errorf("%w: deadline needs a positive instruction count", ErrBadGoal)
+		}
+		if g.Deadline.Seconds <= 0 {
+			return fmt.Errorf("%w: deadline needs a positive time budget", ErrBadGoal)
+		}
+	default:
+		return fmt.Errorf("%w: unknown goal kind %q", ErrBadGoal, g.Kind)
+	}
+	return nil
+}
+
+// GoalFromForms lowers the legacy v1 field triple (goal_frac, goal_ipc,
+// deadline pointer) into the union, enforcing the "at most one form"
+// rule that used to live in the server's request decoder.
+func GoalFromForms(frac, ipc float64, dl *Deadline) (Goal, error) {
+	forms := 0
+	if frac != 0 {
+		forms++
+	}
+	if ipc != 0 {
+		forms++
+	}
+	if dl != nil {
+		forms++
+	}
+	if forms > 1 {
+		return Goal{}, fmt.Errorf("%w: set at most one of goal_frac, goal_ipc, deadline", ErrBadGoal)
+	}
+	switch {
+	case frac != 0:
+		return FracGoal(frac), nil
+	case ipc != 0:
+		return IPCGoal(ipc), nil
+	case dl != nil:
+		return DeadlineGoal(*dl), nil
+	}
+	return Goal{}, nil
+}
+
+// goalObject is the object encoding of the non-frac forms.
+type goalObject struct {
+	Frac     *float64  `json:"frac,omitempty"`
+	IPC      *float64  `json:"ipc,omitempty"`
+	Deadline *Deadline `json:"deadline,omitempty"`
+}
+
+// MarshalJSON encodes frac goals as bare numbers (sweep wire compat),
+// the other forms as single-key objects, and none as null.
+func (g Goal) MarshalJSON() ([]byte, error) {
+	switch g.Kind {
+	case GoalNone:
+		return []byte("null"), nil
+	case GoalFrac:
+		return json.Marshal(g.Frac)
+	case GoalIPC:
+		return json.Marshal(goalObject{IPC: &g.IPC})
+	case GoalDeadline:
+		return json.Marshal(goalObject{Deadline: &g.Deadline})
+	}
+	return nil, fmt.Errorf("%w: unknown goal kind %q", ErrBadGoal, g.Kind)
+}
+
+// UnmarshalJSON accepts a bare number (frac), null (none), or an object
+// carrying exactly one of "frac", "ipc", "deadline".
+func (g *Goal) UnmarshalJSON(b []byte) error {
+	var probe any
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return err
+	}
+	switch probe.(type) {
+	case nil:
+		*g = Goal{}
+		return nil
+	case float64:
+		var f float64
+		if err := json.Unmarshal(b, &f); err != nil {
+			return err
+		}
+		*g = FracGoal(f)
+		return nil
+	case map[string]any:
+		var obj goalObject
+		if err := DecodeStrict(b, &obj); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadGoal, err)
+		}
+		forms := 0
+		if obj.Frac != nil {
+			forms++
+		}
+		if obj.IPC != nil {
+			forms++
+		}
+		if obj.Deadline != nil {
+			forms++
+		}
+		if forms != 1 {
+			return fmt.Errorf("%w: goal object must carry exactly one of frac, ipc, deadline", ErrBadGoal)
+		}
+		switch {
+		case obj.Frac != nil:
+			*g = FracGoal(*obj.Frac)
+		case obj.IPC != nil:
+			*g = IPCGoal(*obj.IPC)
+		default:
+			*g = DeadlineGoal(*obj.Deadline)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: goal must be a number, null, or a one-key object", ErrBadGoal)
+}

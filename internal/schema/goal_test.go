@@ -1,0 +1,126 @@
+package schema_test
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// The frac form must round-trip as a bare JSON number: the distributed
+// sweep has always shipped its goal axis as "goals":[0.5,0.9], and the
+// union must not change those wire bytes (stage keys hash them).
+func TestGoalFracBareNumberWire(t *testing.T) {
+	b, err := json.Marshal(schema.FracGoals([]float64{0.5, 0.9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[0.5,0.9]" {
+		t.Fatalf("frac goals marshal = %s, want bare numbers [0.5,0.9]", b)
+	}
+	var back []schema.Goal
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != schema.FracGoal(0.5) || back[1] != schema.FracGoal(0.9) {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestGoalUnionJSONForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want schema.Goal
+	}{
+		{`null`, schema.Goal{}},
+		{`0.75`, schema.FracGoal(0.75)},
+		{`{"frac":0.5}`, schema.FracGoal(0.5)},
+		{`{"ipc":2.5}`, schema.IPCGoal(2.5)},
+		{`{"deadline":{"instrs":1000,"seconds":0.5}}`,
+			schema.DeadlineGoal(schema.Deadline{Instrs: 1000, Seconds: 0.5})},
+	}
+	for _, c := range cases {
+		var g schema.Goal
+		if err := json.Unmarshal([]byte(c.in), &g); err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if g != c.want {
+			t.Fatalf("%s: got %+v want %+v", c.in, g, c.want)
+		}
+		// Every form must round-trip through its canonical encoding.
+		b, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", c.in, err)
+		}
+		var back schema.Goal
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: reparse %s: %v", c.in, b, err)
+		}
+		if back != g {
+			t.Fatalf("%s: round trip %s -> %+v", c.in, b, back)
+		}
+	}
+}
+
+func TestGoalUnionRejects(t *testing.T) {
+	for _, in := range []string{
+		`{"frac":0.5,"ipc":2}`, // two forms
+		`{}`,                   // zero forms in object encoding
+		`"fast"`,               // wrong JSON type
+		`{"nonsense":1}`,       // unknown key
+	} {
+		var g schema.Goal
+		if err := json.Unmarshal([]byte(in), &g); !errors.Is(err, schema.ErrBadGoal) {
+			t.Fatalf("%s: err = %v, want ErrBadGoal", in, err)
+		}
+	}
+}
+
+func TestGoalValidate(t *testing.T) {
+	ok := []schema.Goal{
+		{},
+		schema.FracGoal(0.5),
+		schema.FracGoal(1),
+		schema.IPCGoal(3),
+		schema.DeadlineGoal(schema.Deadline{Instrs: 10, Seconds: 1}),
+	}
+	for _, g := range ok {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%+v: %v", g, err)
+		}
+	}
+	bad := []schema.Goal{
+		schema.FracGoal(0),
+		schema.FracGoal(1.5),
+		schema.FracGoal(-0.1),
+		schema.IPCGoal(-1),
+		schema.DeadlineGoal(schema.Deadline{Instrs: 0, Seconds: 1}),
+		schema.DeadlineGoal(schema.Deadline{Instrs: 10, Seconds: 0}),
+		{Kind: "bogus"},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); !errors.Is(err, schema.ErrBadGoal) {
+			t.Fatalf("%+v: err = %v, want ErrBadGoal", g, err)
+		}
+	}
+}
+
+func TestGoalFromForms(t *testing.T) {
+	if g, err := schema.GoalFromForms(0.5, 0, nil); err != nil || g != schema.FracGoal(0.5) {
+		t.Fatalf("frac form: %+v, %v", g, err)
+	}
+	if g, err := schema.GoalFromForms(0, 2, nil); err != nil || g != schema.IPCGoal(2) {
+		t.Fatalf("ipc form: %+v, %v", g, err)
+	}
+	dl := &schema.Deadline{Instrs: 5, Seconds: 1}
+	if g, err := schema.GoalFromForms(0, 0, dl); err != nil || g.Kind != schema.GoalDeadline {
+		t.Fatalf("deadline form: %+v, %v", g, err)
+	}
+	if g, err := schema.GoalFromForms(0, 0, nil); err != nil || !g.IsZero() {
+		t.Fatalf("none form: %+v, %v", g, err)
+	}
+	if _, err := schema.GoalFromForms(0.5, 2, nil); !errors.Is(err, schema.ErrBadGoal) {
+		t.Fatalf("two forms: err = %v, want ErrBadGoal", err)
+	}
+}

@@ -23,9 +23,16 @@ import (
 // v2 replaced the ad-hoc admission status fields with the first-class
 // Verdict object (decision/tier/confidence/model_version/evidence_ref)
 // shared by the /v1 API, SSE payloads and the decision journal; the v1
-// `admitted` boolean is kept for one release as a compatibility mirror
-// of `decision` (see README "v1 → v2 verdict migration").
-const Version = 2
+// `admitted` boolean was kept for one release as a compatibility mirror
+// of `decision`.
+//
+// v3 removed that deprecated `admitted` mirror (read `decision`),
+// introduced the typed Goal union (bare-number fractions, {"ipc":..},
+// {"deadline":{..}}) shared by v1 request decoding and the sweep spec,
+// and added the fleet /v2 API (fractional-GPU requests, placements,
+// node views) plus the fleet placement journal — all stamped with this
+// version (see README "v1 → v2 job API migration").
+const Version = 3
 
 // ErrVersion marks an artifact written under a different schema version.
 // The journal, trace and server decoders all wrap it, so callers can

@@ -77,10 +77,6 @@ type Verdict struct {
 	// Cycles is the simulated measurement window of the what-if run
 	// backing the verdict (0 for model-tier verdicts: no run happened).
 	Cycles int64 `json:"cycles"`
-
-	// Admitted mirrors Decision == "admit". Deprecated: v1 compatibility
-	// shim, kept for one release; read Decision instead.
-	Admitted bool `json:"admitted"`
 }
 
 // IsAdmitted reports whether the verdict admits the candidate.

@@ -179,18 +179,18 @@ func (s *Server) evaluate(j *job, memo map[string]*simShare) {
 	// the QoS manager refuses goal-less co-runs, so the what-if runs
 	// under unmanaged sharing and admits vacuously (AllReached is true
 	// with zero QoS kernels) — still with real throughput evidence.
-	scheme := effectiveScheme(s.scheme, specs)
-	sigs := kernelSigs(specs)
-	sig := verdict.Signature(sigs, scheme.Name(), s.dec.cfgHash)
+	scheme := verdict.EffectiveScheme(s.scheme, specs)
+	sigs := verdict.KernelSigsOf(specs)
+	sig := s.dec.SignatureFor(sigs, scheme.Name())
 
-	fr := s.dec.tryFast(sig, sigs, ids, scheme.Name())
-	if fr.cacheMiss {
+	fr := s.dec.TryFast(sig, sigs, ids, scheme.Name())
+	if fr.CacheMiss {
 		s.count("verdict_cache_misses", 1)
 	}
-	if fr.modelEscape {
+	if fr.ModelEscape {
 		s.count("model_escapes", 1)
 	}
-	v := fr.v
+	v := fr.V
 	if v == nil {
 		// Tier 3: full simulation. The memo key is the ORDERED spec list
 		// (not the canonical signature): slots are not interchangeable in
@@ -225,14 +225,14 @@ func (s *Server) evaluate(j *job, memo map[string]*simShare) {
 			memo[okey] = sh
 		}
 		s.forwardTrace(j, sh.tr, len(specs)-1)
-		v = simVerdict(sh.res, ids, sig)
-		s.dec.store(sig, v, sigs)
+		v = verdict.SimVerdict(sh.res, ids, sig)
+		s.dec.Store(sig, v, sigs)
 	}
 	s.count("verdicts_tier_"+v.Tier, 1)
 	s.record(Decision{Kind: "decision", JobID: j.id, JobSeq: j.seq, Name: j.name,
-		Candidate: mixEntry(j), Mix: entries, Admitted: v.Admitted, Verdict: v})
+		Candidate: mixEntry(j), Mix: entries, Admitted: v.IsAdmitted(), Verdict: v})
 	s.observeLatency(v.Tier, time.Since(start))
-	if v.Admitted {
+	if v.IsAdmitted() {
 		s.mixMu.Lock()
 		s.mix = append(s.mix, j)
 		n := len(s.mix)

@@ -79,7 +79,7 @@ func TestAdmissionTable(t *testing.T) {
 		if (v.State == string(JobAdmitted)) != st.admit {
 			t.Fatalf("%s: state %s (verdict %+v), want admitted=%v", st.name, v.State, v.Verdict, st.admit)
 		}
-		if v.Verdict == nil || v.Verdict.Admitted != st.admit {
+		if v.Verdict == nil || v.Verdict.IsAdmitted() != st.admit {
 			t.Fatalf("%s: verdict = %+v", st.name, v.Verdict)
 		}
 		if !st.admit && v.Verdict.Reason == "" {
@@ -163,7 +163,7 @@ func TestJournalRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := ra.view(); v.State != string(JobAdmitted) || v.Verdict == nil || !v.Verdict.Admitted {
+	if v := ra.view(); v.State != string(JobAdmitted) || v.Verdict == nil || !v.Verdict.IsAdmitted() {
 		t.Fatalf("recovered job = %+v", v)
 	}
 	if len(s2.Decisions()) != 3 {

@@ -35,70 +35,38 @@ type KernelRequest struct {
 }
 
 // DeadlineRequest is the OS-scheduler form of a QoS goal (paper Section
-// 3.2): run Instrs thread instructions within Seconds of end-to-end
-// time. When TransferBytes is set, the PCI-E transfer component
-// (core.PCIeTransferSeconds) is subtracted from the budget first.
-type DeadlineRequest struct {
-	Instrs  int64   `json:"instrs"`
-	Seconds float64 `json:"seconds"`
-	// TransferBytes, PCIeGbps and PCIeLatency describe the input
-	// transfer to subtract; Gbps defaults to 15.75 (PCIe 3.0 x16) and
-	// latency to 10us when bytes are given.
-	TransferBytes int64   `json:"transfer_bytes,omitempty"`
-	PCIeGbps      float64 `json:"pcie_gbps,omitempty"`
-	PCIeLatency   float64 `json:"pcie_latency_s,omitempty"`
+// 3.2), now the schema-owned deadline payload of the Goal union. The
+// alias keeps the v1 wire name.
+type DeadlineRequest = schema.Deadline
+
+// goal lifts the v1 field triple into the typed union. The "at most one
+// form" rule and the per-form range checks live on schema.Goal now; the
+// server only translates the sentinel so clients keep seeing 400s.
+func (k *KernelRequest) goal() (schema.Goal, error) {
+	g, err := schema.GoalFromForms(k.GoalFrac, k.GoalIPC, k.Deadline)
+	if err != nil {
+		return schema.Goal{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return g, nil
 }
 
-// goalIPC resolves the deadline into the architectural IPC goal.
-func (d *DeadlineRequest) goalIPC(cfg config.GPU) (float64, error) {
-	budget := d.Seconds
-	if d.TransferBytes > 0 {
-		gbps := d.PCIeGbps
-		if gbps == 0 {
-			gbps = 15.75
-		}
-		lat := d.PCIeLatency
-		if lat == 0 {
-			lat = 10e-6
-		}
-		budget -= core.PCIeTransferSeconds(d.TransferBytes, gbps, lat)
-	}
-	if budget <= 0 {
-		return 0, fmt.Errorf("%w: deadline consumed by PCI-E transfer", ErrBadRequest)
-	}
-	return core.IPCGoalForDeadline(cfg, d.Instrs, budget)
-}
-
-// spec validates the request and lowers it to a core.KernelSpec.
+// spec validates the request and lowers it to a core.KernelSpec via the
+// shared goal union: validate the form (schema.Goal.Validate inside
+// core.ResolveGoal), then resolve deadlines against this daemon's GPU
+// config.
 func (k *KernelRequest) spec(cfg config.GPU) (core.KernelSpec, error) {
 	if k.Workload == "" {
 		return core.KernelSpec{}, fmt.Errorf("%w: kernel.workload is required", ErrBadRequest)
 	}
-	forms := 0
-	if k.GoalFrac != 0 {
-		forms++
+	g, err := k.goal()
+	if err != nil {
+		return core.KernelSpec{}, err
 	}
-	if k.GoalIPC != 0 {
-		forms++
+	gf, gi, err := core.ResolveGoal(cfg, g)
+	if err != nil {
+		return core.KernelSpec{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	if k.Deadline != nil {
-		forms++
-	}
-	if forms > 1 {
-		return core.KernelSpec{}, fmt.Errorf("%w: set at most one of goal_frac, goal_ipc, deadline", ErrBadRequest)
-	}
-	spec := core.KernelSpec{Workload: k.Workload, GoalFrac: k.GoalFrac, GoalIPC: k.GoalIPC}
-	if k.GoalFrac < 0 || k.GoalFrac > 1 {
-		return core.KernelSpec{}, fmt.Errorf("%w: goal_frac %v outside (0,1]", ErrBadRequest, k.GoalFrac)
-	}
-	if k.Deadline != nil {
-		ipc, err := k.Deadline.goalIPC(cfg)
-		if err != nil {
-			return core.KernelSpec{}, err
-		}
-		spec.GoalIPC = ipc
-	}
-	return spec, nil
+	return core.KernelSpec{Workload: k.Workload, GoalFrac: gf, GoalIPC: gi}, nil
 }
 
 // JobRequest is the POST /v1/jobs body.

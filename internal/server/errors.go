@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/schema"
 )
@@ -28,6 +29,9 @@ var (
 	// ErrBadRequest wraps request validation failures (malformed JSON,
 	// missing workload, conflicting goal fields).
 	ErrBadRequest = errors.New("server: bad request")
+	// ErrFleetDisabled rejects /v2 fleet requests on a daemon started
+	// without a fleet (501: the capability is not configured here).
+	ErrFleetDisabled = errors.New("server: fleet not configured")
 )
 
 // httpStatus maps every error the daemon can surface to its HTTP status
@@ -37,18 +41,24 @@ func httpStatus(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, fleet.ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrAdmissionRejected):
+	case errors.Is(err, ErrAdmissionRejected), errors.Is(err, fleet.ErrNoPlacement):
 		return http.StatusConflict
-	case errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrUnknownJob),
+		errors.Is(err, fleet.ErrUnknownJob),
+		errors.Is(err, fleet.ErrUnknownNode):
 		return http.StatusNotFound
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, fleet.ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrFleetDisabled):
+		return http.StatusNotImplemented
 	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, fleet.ErrBadRequest),
 		errors.Is(err, core.ErrUnknownScheme),
 		errors.Is(err, core.ErrUnknownWorkload),
 		errors.Is(err, core.ErrBadGoal),
+		errors.Is(err, schema.ErrBadGoal),
 		errors.Is(err, schema.ErrVersion),
 		errors.Is(err, journal.ErrVersion):
 		return http.StatusBadRequest

@@ -23,10 +23,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/journal"
 	"repro/internal/perfmodel"
 	"repro/internal/schema"
 	"repro/internal/trace"
+	"repro/internal/verdict"
 )
 
 // Config assembles a Server. Runner is the only required field: the
@@ -65,6 +67,12 @@ type Config struct {
 	// DefaultVerdictCacheSize).
 	VerdictCacheSize int
 
+	// Fleet optionally attaches a multi-node placement scheduler
+	// (fleet.New); when set, the /v2 fractional-GPU API is served.
+	// The fleet's lifecycle belongs to the caller except for drain:
+	// Server.Shutdown drains the fleet alongside the v1 decision loop.
+	Fleet *fleet.Fleet
+
 	// StallAfter is the decision-loop liveness threshold: when a single
 	// decision has been in flight longer than this, GET /healthz reports
 	// decision_loop_stalled and returns 503 so orchestrators can detect a
@@ -83,7 +91,8 @@ type Server struct {
 	runner *exp.Runner
 	scheme core.Scheme
 	maxMix int
-	dec    *decider
+	dec    *verdict.Decider
+	fleet  *fleet.Fleet
 
 	store    *jobStore
 	queue    chan *job
@@ -146,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 		scheme:     cfg.Scheme,
 		maxMix:     cfg.MaxMix,
 		dec:        dec,
+		fleet:      cfg.Fleet,
 		store:      newJobStore(),
 		queue:      make(chan *job, cfg.QueueDepth),
 		slotFree:   make(chan struct{}, 1),
@@ -173,8 +183,8 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) openJournal(path string) error {
 	sess := s.runner.Session()
 	var modelVersion string
-	if s.dec.model != nil {
-		modelVersion = s.dec.model.Version()
+	if m := s.dec.Model(); m != nil {
+		modelVersion = m.Version()
 	}
 	hash, err := journal.Hash(struct {
 		Config core.Config
@@ -190,7 +200,7 @@ func (s *Server) openJournal(path string) error {
 		UncertaintyBand float64
 		CacheSize       int
 	}{sess.Config(), sess.Seed(), s.scheme.Name(), s.maxMix,
-		s.dec.enabled, modelVersion, s.dec.band, s.dec.cacheCap()})
+		s.dec.Enabled(), modelVersion, s.dec.Band(), s.dec.CacheCap()})
 	if err != nil {
 		return err
 	}
@@ -219,6 +229,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRelease)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/verdicts/stats", s.handleVerdictStats)
+	mux.HandleFunc("POST /v2/jobs", s.handleV2Submit)
+	mux.HandleFunc("GET /v2/jobs", s.handleV2List)
+	mux.HandleFunc("GET /v2/jobs/{id}", s.handleV2Get)
+	mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleV2Release)
+	mux.HandleFunc("GET /v2/nodes", s.handleV2Nodes)
+	mux.HandleFunc("GET /v2/nodes/{id}", s.handleV2Node)
+	mux.HandleFunc("GET /v2/placements", s.handleV2Placements)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -370,7 +387,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVerdictStats(w http.ResponseWriter, _ *http.Request) {
 	resp := verdictStatsResponse{
 		Schema:   schema.Version,
-		FastPath: s.dec.enabled,
+		FastPath: s.dec.Enabled(),
 		Tiers:    make(map[string]tierStats, 3),
 	}
 	s.statsMu.Lock()
@@ -384,13 +401,13 @@ func (s *Server) handleVerdictStats(w http.ResponseWriter, _ *http.Request) {
 	resp.ModelEscapes = s.reg.Counter("model_escapes").Value()
 	resp.Coalesced = s.reg.Counter("verdicts_coalesced").Value()
 	s.statsMu.Unlock()
-	resp.CacheSize = s.dec.cacheLen()
-	resp.CacheCapacity = s.dec.cacheCap()
-	if s.dec.enabled {
-		resp.UncertaintyBand = s.dec.band
+	resp.CacheSize = s.dec.CacheLen()
+	resp.CacheCapacity = s.dec.CacheCap()
+	if s.dec.Enabled() {
+		resp.UncertaintyBand = s.dec.Band()
 	}
-	if s.dec.model != nil {
-		resp.ModelVersion = s.dec.model.Version()
+	if m := s.dec.Model(); m != nil {
+		resp.ModelVersion = m.Version()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -506,6 +523,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	s.stop()
+	if s.fleet != nil {
+		if ferr := s.fleet.Shutdown(ctx); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	s.decMu.Lock()
 	jnl := s.jnl
 	s.jnl = nil

@@ -154,7 +154,7 @@ func TestEndpointsSmoke(t *testing.T) {
 		t.Fatalf("POST = %d %+v", code, jr)
 	}
 	v := wait(t, ts, jr.Job.ID)
-	if v.State != string(JobAdmitted) || v.Verdict == nil || !v.Verdict.Admitted {
+	if v.State != string(JobAdmitted) || v.Verdict == nil || !v.Verdict.IsAdmitted() {
 		t.Fatalf("job = %+v", v)
 	}
 	if v.Verdict.Candidate.Workload != "sgemm" || !v.Verdict.Candidate.Reached {

@@ -83,7 +83,7 @@ func TestSoakConcurrentAdmission(t *testing.T) {
 					errs <- fmt.Errorf("client %d: release = %d", i, dresp.StatusCode)
 				}
 			case string(JobRejected):
-				if v.Verdict == nil || v.Verdict.Admitted {
+				if v.Verdict == nil || v.Verdict.IsAdmitted() {
 					errs <- fmt.Errorf("client %d: rejected without verdict: %+v", i, v)
 				}
 			default:

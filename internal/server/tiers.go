@@ -2,320 +2,38 @@ package server
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"strings"
 
 	"repro/internal/core"
-	"repro/internal/perfmodel"
-	"repro/internal/schema"
 	"repro/internal/verdict"
 )
 
-// The tiered decision path. Tier 1 is the exact verdict cache
-// (internal/verdict): a canonical mix signature either hits a decided
-// verdict or misses. Tier 2 is the analytic performance model
-// (internal/perfmodel): an instant interpolated prediction, trusted only
-// when every QoS goal ratio lands clearly outside the uncertainty band.
-// Tier 3 is the full what-if simulation, exactly the pre-fast-path
-// behavior — and the only tier when FastPath is off.
-//
-// The decider is shared verbatim between the live decision loop and the
-// Replayer, which is what makes the determinism contract checkable: a
-// serial replay of the decision log evolves the identical cache, takes
-// the identical tier per decision, and reproduces every verdict bit for
-// bit.
+// The tiered decision path (cache → model → sim) lives in
+// internal/verdict.Decider, shared verbatim by this daemon's decision
+// loop, the serial Replayer below, and every node of a fleet
+// (internal/fleet). Sharing one implementation is what makes the
+// determinism contract checkable: a serial replay of the decision log
+// evolves the identical cache, takes the identical tier per decision,
+// and reproduces every verdict bit for bit.
 
 // DefaultVerdictCacheSize bounds the exact-verdict cache when the fast
 // path is enabled and Config.VerdictCacheSize is zero.
-const DefaultVerdictCacheSize = 4096
+const DefaultVerdictCacheSize = verdict.DefaultCacheSize
 
 // DefaultUncertaintyBand is the model tier's goal-ratio margin when
 // Config.UncertaintyBand is zero: predictions within ±5% of a goal
 // boundary escape to simulation.
-const DefaultUncertaintyBand = 0.05
+const DefaultUncertaintyBand = verdict.DefaultUncertaintyBand
 
-// decider holds the fast-path state. All mutation happens on the
-// decision loop (or the Replayer's single goroutine).
-type decider struct {
-	enabled bool
-	cache   *verdict.Cache
-	model   *perfmodel.Model
-	band    float64
-	// cfgHash binds signatures to the exact simulator configuration and
-	// seed (perfmodel.ConfigHash).
-	cfgHash string
-}
-
-// newDecider validates the fast-path half of a Config against the
-// session it will decide for. cfg.Scheme must already be defaulted.
-func newDecider(cfg Config, sess *core.Session) (*decider, error) {
-	cfgHash, err := perfmodel.ConfigHash(sess.Config(), sess.Seed())
-	if err != nil {
-		return nil, err
-	}
-	d := &decider{enabled: cfg.FastPath, band: cfg.UncertaintyBand, cfgHash: cfgHash}
-	if d.band <= 0 {
-		d.band = DefaultUncertaintyBand
-	}
-	if !cfg.FastPath {
-		if cfg.Model != nil {
-			return nil, errors.New("server: Config.Model requires Config.FastPath")
-		}
-		return d, nil
-	}
-	size := cfg.VerdictCacheSize
-	if size <= 0 {
-		size = DefaultVerdictCacheSize
-	}
-	d.cache = verdict.NewCache(size)
-	if cfg.Model != nil {
-		if got := cfg.Model.ConfigHash(); got != cfgHash {
-			return nil, fmt.Errorf("server: model fit bound to config %.12s…, daemon runs %.12s… (refit under this device/window/seed)",
-				got, cfgHash)
-		}
-		if sc := cfg.Model.Scheme(); sc != "" && sc != cfg.Scheme.Name() {
-			return nil, fmt.Errorf("server: model fit swept under scheme %q, daemon evaluates %q", sc, cfg.Scheme.Name())
-		}
-		d.model = cfg.Model
-	}
-	return d, nil
-}
-
-// cacheLen and cacheCap report the verdict cache's occupancy and
-// capacity; both are 0 when the fast path is off.
-func (d *decider) cacheLen() int {
-	if d.cache == nil {
-		return 0
-	}
-	return d.cache.Len()
-}
-
-func (d *decider) cacheCap() int {
-	if d.cache == nil {
-		return 0
-	}
-	return d.cache.Cap()
-}
-
-// effectiveScheme applies the goal-less-mix rule shared by evaluation
-// and replay: a hypothetical mix with no QoS kernel has no contract to
-// protect, so it runs (and is cached) under unmanaged sharing.
-func effectiveScheme(scheme core.Scheme, specs []core.KernelSpec) core.Scheme {
-	for _, sp := range specs {
-		if sp.GoalFrac > 0 || sp.GoalIPC > 0 {
-			return scheme
-		}
-	}
-	return core.SchemeNone
-}
-
-// kernelSigs lowers ordered kernel specs to signature form.
-func kernelSigs(specs []core.KernelSpec) []verdict.KernelSig {
-	sigs := make([]verdict.KernelSig, len(specs))
-	for i, sp := range specs {
-		sigs[i] = verdict.KernelSig{Workload: sp.Workload, GoalFrac: sp.GoalFrac, GoalIPC: sp.GoalIPC}
-	}
-	return sigs
-}
-
-// evidenceRef renders the signature reference carried on verdicts.
-func evidenceRef(sig string) string {
-	if len(sig) > 16 {
-		sig = sig[:16]
-	}
-	return "sig:" + sig
-}
-
-// fastResult reports what the fast tiers did for one decision, so the
-// caller can maintain counters without the decider knowing about them.
-type fastResult struct {
-	v *Verdict
-	// cacheMiss: the fast path is enabled and the exact cache missed.
-	cacheMiss bool
-	// modelEscape: the model was consulted but declined (coverage hole
-	// or a prediction inside the uncertainty band).
-	modelEscape bool
-}
-
-// tryFast runs tiers 1 and 2. ids lists the job ids in spec order
-// (incumbents first, candidate last); schemeName is the effective
-// scheme. A nil fastResult.v means the decision falls to simulation.
-func (d *decider) tryFast(sig string, sigs []verdict.KernelSig, ids []string, schemeName string) fastResult {
-	if !d.enabled {
-		return fastResult{}
-	}
-	if cv, ok := d.cache.Get(sig); ok {
-		return fastResult{v: cachedVerdict(cv, sigs, ids, sig)}
-	}
-	out := fastResult{cacheMiss: true}
-	if d.model == nil {
-		return out
-	}
-	v := d.modelVerdict(sig, sigs, ids, schemeName)
-	if v == nil {
-		out.modelEscape = true
-		return out
-	}
-	// Model verdicts are cached too: the next identical mix is a tier-1
-	// hit instead of a re-prediction.
-	d.store(sig, v, sigs)
-	out.v = v
-	return out
-}
-
-// cachedVerdict maps a stored verdict's canonical-order outcomes back to
-// the current request's kernel positions and job ids.
-func cachedVerdict(cv verdict.Cached, sigs []verdict.KernelSig, ids []string, sig string) *Verdict {
-	outs := make([]KernelOutcome, len(sigs))
-	for ci, oi := range verdict.Canonical(sigs) {
-		o := cv.Outcomes[ci]
-		o.JobID = ids[oi]
-		outs[oi] = o
-	}
-	v := newVerdict(cv.Admitted, schema.TierCache, cv.Confidence, cv.Scheme, ids, outs, sig)
-	v.ModelVersion = cv.ModelVersion
-	v.Cycles = cv.Cycles
-	v.Reason = verdictReason(cv.Admitted, cv.Tier, cv.Confidence, outs)
-	return v
-}
-
-// modelVerdict runs the analytic tier; nil means escape to simulation.
-func (d *decider) modelVerdict(sig string, sigs []verdict.KernelSig, ids []string, schemeName string) *Verdict {
-	mk := make([]perfmodel.Kernel, len(sigs))
-	for i, ks := range sigs {
-		mk[i] = perfmodel.Kernel{Workload: ks.Workload, GoalFrac: ks.GoalFrac, GoalIPC: ks.GoalIPC}
-	}
-	pred, ok := d.model.Predict(mk)
-	if !ok {
-		return nil
-	}
-	admit, clear := pred.Decide(d.band)
-	if !clear {
-		return nil
-	}
-	conf := pred.Confidence()
-	outs := make([]KernelOutcome, len(sigs))
-	for i, kp := range pred.Kernels {
-		o := KernelOutcome{
-			JobID:       ids[i],
-			Workload:    kp.Workload,
-			IsQoS:       kp.IsQoS,
-			GoalIPC:     kp.GoalIPC,
-			IPC:         kp.IPC,
-			IsolatedIPC: kp.Isolated,
-		}
-		if kp.Isolated > 0 {
-			o.NormThroughput = kp.IPC / kp.Isolated
-		}
-		if kp.IsQoS {
-			o.GoalRatio = kp.Ratio
-			o.Reached = kp.Ratio >= 1
-		}
-		outs[i] = o
-	}
-	v := newVerdict(admit, schema.TierModel, conf, schemeName, ids, outs, sig)
-	v.ModelVersion = d.model.Version()
-	v.Reason = verdictReason(admit, schema.TierModel, conf, outs)
-	return v
-}
-
-// simVerdict scores a what-if simulation result (tier 3). The decision
-// rule is the paper's QoS contract applied transitively: admit if and
-// only if every QoS kernel of the hypothetical mix reaches its goal.
-func simVerdict(res *core.Result, ids []string, sig string) *Verdict {
-	outs := make([]KernelOutcome, len(res.Kernels))
-	for i, kr := range res.Kernels {
-		outs[i] = KernelOutcome{
-			JobID:          ids[i],
-			Workload:       kr.Name,
-			IsQoS:          kr.IsQoS,
-			GoalIPC:        kr.GoalIPC,
-			IPC:            kr.IPC,
-			IsolatedIPC:    kr.IsolatedIPC,
-			Reached:        kr.Reached,
-			GoalRatio:      kr.GoalRatio,
-			NormThroughput: kr.NormThroughput,
-		}
-	}
-	v := newVerdict(res.AllReached, schema.TierSim, 1, res.Scheme.Name(), ids, outs, sig)
-	v.Cycles = res.Cycles
-	v.Reason = verdictReason(res.AllReached, schema.TierSim, 1, outs)
-	return v
-}
-
-// newVerdict assembles the shared envelope; outs is in request order
-// with the candidate last.
-func newVerdict(admitted bool, tier string, conf float64, schemeName string, ids []string, outs []KernelOutcome, sig string) *Verdict {
-	n := len(outs)
-	mixIDs := make([]string, n-1)
-	copy(mixIDs, ids)
-	v := &Verdict{
-		Decision:    schema.Decision(admitted),
-		Admitted:    admitted,
-		Tier:        tier,
-		Confidence:  conf,
-		EvidenceRef: evidenceRef(sig),
-		Scheme:      schemeName,
-		MixBefore:   mixIDs,
-		Candidate:   outs[n-1],
-	}
-	if n > 1 {
-		v.Incumbents = outs[:n-1]
-	}
-	return v
-}
-
-// verdictReason renders the deterministic human-readable explanation.
-// evidenceTier is the origin of the evidence ("sim" or "model"), which a
-// cache hit inherits from the stored verdict.
-func verdictReason(admitted bool, evidenceTier string, confidence float64, outs []KernelOutcome) string {
-	if evidenceTier == schema.TierModel {
-		if admitted {
-			return fmt.Sprintf("analytic model predicts all QoS goals reached (confidence %.3f)", confidence)
-		}
-		return "analytic model predicts QoS goal missed by " + missedList(outs)
-	}
-	if admitted {
-		return "all QoS goals reached in the what-if co-run"
-	}
-	return "QoS goal missed by " + missedList(outs)
-}
-
-// missedList names every QoS kernel below goal, in request order.
-func missedList(outs []KernelOutcome) string {
-	var missed []string
-	for _, o := range outs {
-		if o.IsQoS && !o.Reached {
-			missed = append(missed, fmt.Sprintf("%s (%s) at %.1f%% of goal", o.JobID, o.Workload, 100*o.GoalRatio))
-		}
-	}
-	return strings.Join(missed, ", ")
-}
-
-// store caches a decided verdict under its signature with outcomes in
-// canonical order and job ids stripped. No-op when the fast path is off.
-func (d *decider) store(sig string, v *Verdict, sigs []verdict.KernelSig) {
-	if !d.enabled {
-		return
-	}
-	outs := make([]KernelOutcome, 0, len(v.Incumbents)+1)
-	outs = append(outs, v.Incumbents...)
-	outs = append(outs, v.Candidate)
-	canon := make([]KernelOutcome, len(outs))
-	for ci, oi := range verdict.Canonical(sigs) {
-		o := outs[oi]
-		o.JobID = ""
-		canon[ci] = o
-	}
-	d.cache.Put(sig, verdict.Cached{
-		Admitted:     v.Admitted,
-		Scheme:       v.Scheme,
-		Cycles:       v.Cycles,
-		Confidence:   v.Confidence,
-		Tier:         v.Tier,
-		ModelVersion: v.ModelVersion,
-		Outcomes:     canon,
+// newDecider lowers the fast-path half of a Config into the shared
+// decider, bound to the session it will decide for. cfg.Scheme must
+// already be defaulted.
+func newDecider(cfg Config, sess *core.Session) (*verdict.Decider, error) {
+	return verdict.NewDecider(sess, verdict.DeciderConfig{
+		FastPath:        cfg.FastPath,
+		Model:           cfg.Model,
+		UncertaintyBand: cfg.UncertaintyBand,
+		CacheSize:       cfg.VerdictCacheSize,
+		SchemeName:      cfg.Scheme.Name(),
 	})
 }
 
@@ -330,7 +48,7 @@ func (d *decider) store(sig string, v *Verdict, sigs []verdict.KernelSig) {
 type Replayer struct {
 	sess   *core.Session
 	scheme core.Scheme
-	dec    *decider
+	dec    *verdict.Decider
 }
 
 // NewReplayer builds a replayer for the given session, which must match
@@ -361,17 +79,17 @@ func (r *Replayer) Replay(ctx context.Context, d Decision) (*Verdict, error) {
 	}
 	specs = append(specs, d.Candidate.Spec())
 	ids = append(ids, d.JobID)
-	scheme := effectiveScheme(r.scheme, specs)
-	sigs := kernelSigs(specs)
-	sig := verdict.Signature(sigs, scheme.Name(), r.dec.cfgHash)
-	if fr := r.dec.tryFast(sig, sigs, ids, scheme.Name()); fr.v != nil {
-		return fr.v, nil
+	scheme := verdict.EffectiveScheme(r.scheme, specs)
+	sigs := verdict.KernelSigsOf(specs)
+	sig := r.dec.SignatureFor(sigs, scheme.Name())
+	if fr := r.dec.TryFast(sig, sigs, ids, scheme.Name()); fr.V != nil {
+		return fr.V, nil
 	}
 	res, err := r.sess.Run(ctx, specs, scheme)
 	if err != nil {
 		return nil, err
 	}
-	v := simVerdict(res, ids, sig)
-	r.dec.store(sig, v, sigs)
+	v := verdict.SimVerdict(res, ids, sig)
+	r.dec.Store(sig, v, sigs)
 	return v, nil
 }
