@@ -1,11 +1,15 @@
 # Build, test and verification entry points. `make ci` is the gate run
 # before merging: vet plus staticcheck (hard-required when $CI is set,
-# soft-skipped on developer machines without the tool), the race-detector
-# pass over the concurrent packages, the full test suite — which includes
-# the daemon's httptest smoke, the 50-client concurrent-admission soak and
-# the serial-vs-sharded equivalence suite — the race-enabled distributed-
-# sweep chaos suite (`make chaos`), a trace-emit benchmark smoke, short
-# fuzz runs over the checkpoint-journal and sweep-wire decoders, and the
+# soft-skipped with an explicit SKIPPED line on developer machines
+# without the tool), the race-detector pass over the concurrent packages
+# (plus the pinned stream-driver tests), the full test suite — which
+# includes the daemon's httptest smoke, the 50-client concurrent-
+# admission soak and the serial-vs-sharded equivalence suite — the
+# race-enabled distributed-sweep chaos suite (`make chaos`), the
+# stream-replay determinism gate (`make stream-replay`: the committed
+# golden arrival trace must yield byte-identical qosd decision journals
+# across two fresh drives), a trace-emit benchmark smoke, short fuzz
+# runs over the checkpoint-journal and sweep-wire decoders, and the
 # simulator-core performance gate against the committed BENCH_core.json
 # baseline (see internal/benchgate; BENCHGATE_HANDICAP=0.6,
 # BENCHGATE_LAT_HANDICAP=4 and BENCHGATE_OVERHEAD_HANDICAP=10 inject
@@ -15,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench race chaos fuzz staticcheck bench-trace bench-core bench-json bench-gate fleet ci clean
+.PHONY: all build test bench race chaos fuzz staticcheck bench-trace bench-core bench-json bench-gate fleet stream-replay ci clean
 
 all: build
 
@@ -51,6 +55,7 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -count=1 -run 'TestWheel' ./internal/gpu
 	$(GO) test -race -count=1 -run 'TestShard' .
+	$(GO) test -race -short -count=1 ./internal/stream
 
 # Deterministic chaos suite for the distributed sweep: scripted worker
 # kills, dropped/duplicated/delayed result deliveries, blackholed
@@ -65,7 +70,7 @@ chaos:
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	elif [ -n "$$CI" ]; then echo "staticcheck required in CI but not installed" >&2; exit 1; \
-	else echo "staticcheck not installed; skipping"; fi
+	else echo "SKIPPED: staticcheck (not installed; CI enforces it, install locally for parity)"; fi
 
 # Trace-collector benchmark smoke: one iteration of the enabled and
 # disabled emit paths, so a regression that makes the no-op path allocate
@@ -75,13 +80,17 @@ bench-trace:
 
 # Simulator-core benchmarks: throughput (serial and sharded stepping),
 # the admission and fleet-placement fast-path latency benchmarks
-# (p50-ns / speedup-x), and the distributed-sweep coordination-tax
-# benchmark (overhead-pct).
+# (p50-ns / speedup-x), the distributed-sweep coordination-tax benchmark
+# (overhead-pct), and the sustained stream-admission throughput
+# benchmark (decisions/s; the iteration count is pinned because a
+# long-lived daemon's retained job log makes per-decision cost drift
+# with run length — comparisons are only valid at equal counts).
 bench-core:
 	$(GO) test -bench='BenchmarkSimulatorCycles' -benchtime=3x -benchmem -count=1 -run='^$$' .
 	$(GO) test -bench='BenchmarkAdmission' -benchtime=200x -benchmem -count=1 -run='^$$' ./internal/server
 	$(GO) test -bench='BenchmarkFleetPlacement' -benchtime=200x -benchmem -count=1 -run='^$$' ./internal/fleet
 	$(GO) test -bench='BenchmarkDistSweepOverhead' -benchtime=5x -benchmem -count=1 -run='^$$' ./internal/distsweep
+	$(GO) test -bench='BenchmarkStreamAdmission' -benchtime=100x -benchmem -count=1 -run='^$$' ./internal/stream
 
 # Rewrite the committed performance baseline from the current tree. Run
 # on the reference machine, review the diff, and commit BENCH_core.json.
@@ -109,6 +118,14 @@ fleet:
 	$(GO) test -race -count=1 -run 'TestFleetPlacementDeterminism|TestRepartitionPlacesWhatFirstFitRejects' ./internal/fleet
 	$(GO) test -race -count=1 -run 'TestV2' ./internal/server
 
+# Stream-replay determinism gate: the committed golden arrival trace
+# must (a) regenerate byte-identically from its spec and (b) produce
+# byte-identical qosd decision journals when driven through two fresh
+# daemons. STREAM_ARTIFACT_DIR (set by CI) receives the diverging
+# journals on failure.
+stream-replay:
+	$(GO) test -count=1 -run 'TestStreamGoldenTrace|TestStreamReplayDeterminism' ./internal/stream
+
 ci:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
@@ -117,6 +134,7 @@ ci:
 	$(MAKE) fleet
 	$(GO) test ./...
 	$(GO) test -run 'TestEndpointsSmoke|TestAdmissionTable' -count=1 ./internal/server
+	$(MAKE) stream-replay
 	$(MAKE) bench-trace
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=10s
 	$(GO) test ./internal/distsweep -run='^$$' -fuzz=FuzzLeaseDecode -fuzztime=10s

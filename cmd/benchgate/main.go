@@ -8,9 +8,10 @@
 //	go test -bench 'BenchmarkSimulatorCycles' -benchmem -run '^$' . \
 //	    | benchgate -baseline BENCH_core.json       # gate (exit 1 on fail)
 //
-// Three kinds of benchmark are gated. Throughput benchmarks (cycles/s)
-// fail when throughput drops more than -tol (default 10%, override with
-// BENCHGATE_TOL) below baseline or allocs/op rises above it. Latency
+// Three kinds of benchmark are gated. Throughput benchmarks (cycles/s,
+// or decisions/s for the stream-admission gate) fail when throughput
+// drops more than -tol (default 10%, override with BENCHGATE_TOL) below
+// baseline or allocs/op rises above it. Latency
 // benchmarks (p50-ns, speedup-x — e.g. BenchmarkAdmission) fail when the
 // median latency rises more than -lat-tol (default 50%, override with
 // BENCHGATE_LAT_TOL) above baseline or the speedup falls below the
@@ -128,6 +129,11 @@ func run(update bool, out, baseline string, tol, latTol float64, window int64) e
 		if e.Kind == benchgate.KindOverhead {
 			fmt.Printf("benchgate: %-24s %12.1f overhead-pct (ceiling %.0f)\n",
 				e.Name, e.OverheadPct, benchgate.MaxOverheadPct)
+			continue
+		}
+		if e.OpsPerSec > 0 {
+			fmt.Printf("benchgate: %-24s %12.0f decisions/s %6d allocs/op\n",
+				e.Name, e.OpsPerSec, e.AllocsPerOp)
 			continue
 		}
 		fmt.Printf("benchgate: %-24s %12.0f cycles/s  %6d allocs/op\n",

@@ -20,7 +20,17 @@
 //	sweep -mode pairs -journal pairs.ckpt            # checkpoint as it goes
 //	sweep -mode pairs -journal pairs.ckpt -resume    # pick up after a crash
 //	sweep -mode pairs -schemes rollover -fit fit.json  # also emit a qosd model fit
+//	sweep -mode pairs -suite openworld -schemes rollover > openworld.csv
+//	sweep -mode stream -arrivals poisson,bursty -schemes rollover -window 30000 > stream.csv
 //	sweep -worker http://host:9121                   # join a sweepd coordinator
+//
+// -suite openworld swaps the pairs grid for the open-world classes
+// (latency-SLO'd LLM inference, periodic real-time detection) co-run
+// against every paper benchmark. -mode stream sweeps an arrival-process
+// axis instead of a workload grid: each -arrivals process is expanded
+// into a seeded trace at the same mean rate, driven through a fresh
+// in-process qosd admission loop, and reported as per-tenant SLO rows
+// (see internal/stream; trace_hash binds each row to its exact traffic).
 //
 // With -worker the process becomes a distributed sweep worker: it
 // fetches the sweep spec from a sweepd coordinator, executes leased
@@ -52,6 +62,8 @@ import (
 	"repro/internal/exp"
 	"repro/internal/journal"
 	"repro/internal/retry"
+	"repro/internal/server"
+	"repro/internal/stream"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -79,6 +91,11 @@ type options struct {
 	fitPath     string
 	workerAddr  string
 	workerName  string
+	suite       string
+	arrivals    string
+	rate        float64
+	streamDur   time.Duration
+	mix         int
 }
 
 func main() {
@@ -104,6 +121,11 @@ func main() {
 	flag.StringVar(&o.fitPath, "fit", "", "distill the pair sweep into a qosd performance-model fit at this path (pairs mode, exactly one scheme)")
 	flag.StringVar(&o.workerAddr, "worker", "", "run as a distributed worker against this sweepd coordinator URL")
 	flag.StringVar(&o.workerName, "worker-name", "", "worker name reported to the coordinator (default sweep-<pid>)")
+	flag.StringVar(&o.suite, "suite", "paper", "pair grid: paper (the 90-pair Parboil grid) | openworld (open-world classes vs every paper benchmark)")
+	flag.StringVar(&o.arrivals, "arrivals", "poisson,diurnal,bursty", "comma-separated arrival processes to sweep (stream mode)")
+	flag.Float64Var(&o.rate, "rate", 8, "mean arrivals per second per process (stream mode)")
+	flag.DurationVar(&o.streamDur, "stream-duration", 30*time.Second, "virtual length of each generated trace (stream mode)")
+	flag.IntVar(&o.mix, "mix", 3, "admitted-mix capacity of the in-process daemon (stream mode)")
 	flag.Parse()
 
 	if o.pprofAddr != "" {
@@ -272,6 +294,20 @@ func run(ctx context.Context, o options) error {
 	if err != nil {
 		return err
 	}
+	if o.suite != "paper" && o.suite != "openworld" {
+		return fmt.Errorf("unknown suite %q (want paper or openworld)", o.suite)
+	}
+	if o.suite != "paper" && o.mode != "pairs" {
+		return errors.New("-suite selects the pairs grid; it requires -mode pairs")
+	}
+	if o.mode == "stream" && (o.journalPath != "" || o.resume) {
+		// Case checkpointing keys on grid indices; a stream drive is one
+		// indivisible replay, already reproducible from (spec, seed).
+		return errors.New("-journal/-resume apply to grid sweeps, not -mode stream")
+	}
+	if o.mode == "stream" && len(schemes) != 1 {
+		return errors.New("-mode stream requires exactly one -schemes entry (stream rows carry no scheme column)")
+	}
 	def := exp.Goals()
 	if o.mode == "trios" && o.nQoS == 2 {
 		def = exp.TwoQoSGoals()
@@ -332,8 +368,12 @@ func run(ctx context.Context, o options) error {
 
 	switch o.mode {
 	case "pairs":
+		grid := workloads.Pairs()
+		if o.suite == "openworld" {
+			grid = workloads.OpenWorldPairs()
+		}
 		var pairs []workloads.Pair
-		for i, p := range workloads.Pairs() {
+		for i, p := range grid {
 			if i%o.subsample == 0 {
 				pairs = append(pairs, p)
 			}
@@ -383,6 +423,56 @@ func run(ctx context.Context, o options) error {
 				w.Write(exp.TrioCSVRow(c, o.nQoS))
 			}
 			w.Flush()
+		}
+	case "stream":
+		w.Write(stream.CSVHeader())
+		for _, raw := range strings.Split(o.arrivals, ",") {
+			proc := strings.TrimSpace(raw)
+			tr, err := stream.Generate(stream.GenSpec{
+				Process:    proc,
+				RatePerSec: o.rate,
+				DurationMs: o.streamDur.Milliseconds(),
+				Seed:       workloads.Seed,
+				Tenants:    stream.DefaultTenants(),
+			})
+			if err != nil {
+				return err
+			}
+			// A fresh daemon per process: admission verdicts depend on the
+			// admitted mix, so sharing one daemon would leak load from the
+			// previous process's tail into the next process's head. The
+			// evaluation runner is shared — Shutdown drains the daemon's
+			// decision loop, not the worker pool.
+			srv, err := server.New(server.Config{
+				Runner:   runner,
+				Scheme:   schemes[0],
+				MaxMix:   o.mix,
+				FastPath: true,
+			})
+			if err != nil {
+				return err
+			}
+			d := &stream.Driver{
+				Backend:  stream.ServerBackend{Server: srv},
+				Registry: srv.Registry(),
+				MixSlots: o.mix,
+			}
+			rep, runErr := d.Run(ctx, tr)
+			shCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			shErr := srv.Shutdown(shCtx)
+			cancel()
+			if runErr != nil {
+				return fmt.Errorf("drive %s: %w", proc, runErr)
+			}
+			if shErr != nil {
+				return fmt.Errorf("shutdown after %s: %w", proc, shErr)
+			}
+			if err := w.WriteAll(stream.CSVRows(rep, tr.Spec)); err != nil {
+				return err
+			}
+			w.Flush()
+			fmt.Fprintf(os.Stderr, "sweep stream %-12s %4d arrivals, %d admitted, %d rejected (hash %.12s…)\n",
+				proc, rep.Totals.Arrivals, rep.Totals.Admitted, rep.Totals.Rejected, rep.TraceHash)
 		}
 	default:
 		return fmt.Errorf("unknown mode %q", o.mode)

@@ -1,9 +1,10 @@
 // Package benchgate turns `go test -bench` output into a committed JSON
 // baseline and gates CI on it. Two kinds of benchmark are gated:
 //
-//   - throughput ("cycles/s"): a run whose simulator throughput drops
-//     more than the tolerance below the baseline, or whose steady-state
-//     allocations rise above it, fails;
+//   - throughput ("cycles/s" or "decisions/s"): a run whose simulator
+//     (or decision-path) throughput drops more than the tolerance below
+//     the baseline, or whose steady-state allocations rise above it,
+//     fails;
 //   - latency ("p50-ns", "speedup-x"): a run whose median latency rises
 //     above the baseline ceiling, or whose speedup over its in-benchmark
 //     reference falls below the absolute MinSpeedupX floor, fails;
@@ -29,14 +30,16 @@ import (
 	"strings"
 )
 
-// Schema identifies the baseline file format. v3 added overhead-kind
-// entries; v2 added latency; older files still load.
-const Schema = "benchgate/v3"
+// Schema identifies the baseline file format. v4 added ops-throughput
+// (decisions/s) entries; v3 added overhead; v2 added latency; older
+// files still load.
+const Schema = "benchgate/v4"
 
 // Prior formats, accepted on load.
 const (
 	schemaV1 = "benchgate/v1" // throughput only
 	schemaV2 = "benchgate/v2" // + latency entries
+	schemaV3 = "benchgate/v3" // + overhead entries
 )
 
 // Entry kinds.
@@ -60,6 +63,11 @@ type Entry struct {
 	// CyclesPerSec is the simulator-throughput custom metric
 	// (throughput entries).
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// OpsPerSec is the decision-throughput custom metric ("decisions/s")
+	// of throughput entries that measure sustained request streams (the
+	// stream-admission gate) rather than simulated cycles. A throughput
+	// entry carries exactly one of CyclesPerSec and OpsPerSec.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 	// AllocsPerOp comes from -benchmem and is machine-independent. It is
 	// gated for throughput entries and informational for latency ones.
 	AllocsPerOp int64 `json:"allocs_per_op"`
@@ -106,7 +114,7 @@ func Parse(r io.Reader) ([]Entry, error) {
 			continue
 		}
 		e := Entry{Name: normalize(f[0]), AllocsPerOp: -1}
-		hasCycles, hasP50, hasOverhead := false, false, false
+		hasCycles, hasOps, hasP50, hasOverhead := false, false, false, false
 		// After the name and iteration count the line is value/unit
 		// pairs: `1234 ns/op  330000 cycles/s  2024 allocs/op`.
 		for i := 2; i+1 < len(f); i += 2 {
@@ -120,6 +128,9 @@ func Parse(r io.Reader) ([]Entry, error) {
 			case "cycles/s":
 				e.CyclesPerSec = v
 				hasCycles = true
+			case "decisions/s":
+				e.OpsPerSec = v
+				hasOps = true
 			case "p50-ns":
 				e.P50Ns = v
 				hasP50 = true
@@ -133,16 +144,16 @@ func Parse(r io.Reader) ([]Entry, error) {
 			}
 		}
 		kinds := 0
-		for _, h := range []bool{hasCycles, hasP50, hasOverhead} {
+		for _, h := range []bool{hasCycles, hasOps, hasP50, hasOverhead} {
 			if h {
 				kinds++
 			}
 		}
 		if kinds > 1 {
-			return nil, fmt.Errorf("benchgate: %s reports more than one of cycles/s, p50-ns and overhead-pct", e.Name)
+			return nil, fmt.Errorf("benchgate: %s reports more than one of cycles/s, decisions/s, p50-ns and overhead-pct", e.Name)
 		}
 		switch {
-		case hasCycles:
+		case hasCycles, hasOps:
 			if e.AllocsPerOp < 0 {
 				return nil, fmt.Errorf("benchgate: %s reports no allocs/op; run with -benchmem", e.Name)
 			}
@@ -190,7 +201,7 @@ func Load(path string) (*File, error) {
 	if err := json.Unmarshal(b, &f); err != nil {
 		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
 	}
-	if f.Schema != Schema && f.Schema != schemaV1 && f.Schema != schemaV2 {
+	if f.Schema != Schema && f.Schema != schemaV1 && f.Schema != schemaV2 && f.Schema != schemaV3 {
 		return nil, fmt.Errorf("benchgate: %s: schema %q, want %q", path, f.Schema, Schema)
 	}
 	// v1 files predate entry kinds; everything they gate is throughput.
@@ -271,11 +282,17 @@ func Compare(base, cur *File, tolFrac, latTolFrac float64) []string {
 			}
 			continue
 		}
-		if floor := b.CyclesPerSec * (1 - tolFrac); c.CyclesPerSec < floor {
+		if floor := b.CyclesPerSec * (1 - tolFrac); b.CyclesPerSec > 0 && c.CyclesPerSec < floor {
 			bad = append(bad, fmt.Sprintf(
 				"%s: throughput %.0f cycles/s is %.1f%% below baseline %.0f (floor %.0f)",
 				b.Name, c.CyclesPerSec,
 				100*(1-c.CyclesPerSec/b.CyclesPerSec), b.CyclesPerSec, floor))
+		}
+		if floor := b.OpsPerSec * (1 - tolFrac); b.OpsPerSec > 0 && c.OpsPerSec < floor {
+			bad = append(bad, fmt.Sprintf(
+				"%s: throughput %.0f decisions/s is %.1f%% below baseline %.0f (floor %.0f)",
+				b.Name, c.OpsPerSec,
+				100*(1-c.OpsPerSec/b.OpsPerSec), b.OpsPerSec, floor))
 		}
 		if ceil := int64(float64(b.AllocsPerOp) * (1 + AllocSlackFrac)); c.AllocsPerOp > ceil {
 			bad = append(bad, fmt.Sprintf(
@@ -286,9 +303,9 @@ func Compare(base, cur *File, tolFrac, latTolFrac float64) []string {
 	return bad
 }
 
-// ApplyHandicap scales every throughput benchmark down by frac. It
-// exists to prove the gate trips: `BENCHGATE_HANDICAP=0.15 make ci` must
-// fail. frac <= 0 is a no-op.
+// ApplyHandicap scales every throughput benchmark down by frac
+// (cycles/s and decisions/s alike). It exists to prove the gate trips:
+// `BENCHGATE_HANDICAP=0.15 make ci` must fail. frac <= 0 is a no-op.
 func ApplyHandicap(f *File, frac float64) {
 	if frac <= 0 {
 		return
@@ -298,6 +315,7 @@ func ApplyHandicap(f *File, frac float64) {
 			continue
 		}
 		f.Benchmarks[i].CyclesPerSec *= 1 - frac
+		f.Benchmarks[i].OpsPerSec *= 1 - frac
 	}
 }
 

@@ -14,6 +14,7 @@ BenchmarkTable01Parameters-4         	     100	    120000 ns/op
 BenchmarkSimulatorCycles-4           	       5	 160000000 ns/op	    312500 cycles/s	  606844 B/op	    2024 allocs/op
 BenchmarkSimulatorCyclesSharded-4    	       5	 170000000 ns/op	    294117 cycles/s	  655360 B/op	    2200 allocs/op
 BenchmarkAdmission-4                 	    1000	      8000 ns/op	      5200 p50-ns	      9800 speedup-x	    4402 B/op	      43 allocs/op
+BenchmarkStreamAdmission-4           	   20000	     61000 ns/op	     16300 decisions/s	   10240 B/op	      98 allocs/op
 BenchmarkDistSweepOverhead-4         	       5	 510000000 ns/op	        23.04 cases/s	         4.2 overhead-pct	 7712544 B/op	   12202 allocs/op
 PASS
 ok  	repro	12.3s
@@ -29,6 +30,7 @@ func TestParse(t *testing.T) {
 		{Name: "DistSweepOverhead", Kind: KindOverhead, OverheadPct: 4.2, AllocsPerOp: 12202, NsPerOp: 510000000},
 		{Name: "SimulatorCycles", Kind: KindThroughput, CyclesPerSec: 312500, AllocsPerOp: 2024, NsPerOp: 160000000},
 		{Name: "SimulatorCyclesSharded", Kind: KindThroughput, CyclesPerSec: 294117, AllocsPerOp: 2200, NsPerOp: 170000000},
+		{Name: "StreamAdmission", Kind: KindThroughput, OpsPerSec: 16300, AllocsPerOp: 98, NsPerOp: 61000},
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Parse = %+v, want %+v", got, want)
@@ -63,6 +65,7 @@ func baseFile() *File {
 			{Name: "Admission", Kind: KindLatency, P50Ns: 5000, SpeedupX: 9000, AllocsPerOp: 43, NsPerOp: 8000},
 			{Name: "SimulatorCycles", Kind: KindThroughput, CyclesPerSec: 300_000, AllocsPerOp: 2000, NsPerOp: 1e8},
 			{Name: "DistSweepOverhead", Kind: KindOverhead, OverheadPct: 3.0, AllocsPerOp: 12000, NsPerOp: 5e8},
+			{Name: "StreamAdmission", Kind: KindThroughput, OpsPerSec: 15_000, AllocsPerOp: 100, NsPerOp: 65000},
 		},
 	}
 }
@@ -83,7 +86,12 @@ func TestCompare(t *testing.T) {
 			f.Benchmarks[1].CyclesPerSec = 100_000
 			f.Benchmarks[1].AllocsPerOp = 9984
 		}, 2},
-		{"benchmark vanished", func(f *File) { f.Benchmarks = f.Benchmarks[:2] }, 1},
+		{"benchmark vanished", func(f *File) { f.Benchmarks = f.Benchmarks[:2] }, 2},
+		// Ops-throughput entries (decisions/s) gate like cycles/s.
+		{"ops faster is fine", func(f *File) { f.Benchmarks[3].OpsPerSec = 40_000 }, 0},
+		{"ops within tolerance", func(f *File) { f.Benchmarks[3].OpsPerSec = 13_700 }, 0},
+		{"ops regression", func(f *File) { f.Benchmarks[3].OpsPerSec = 13_000 }, 1},
+		{"ops alloc regression", func(f *File) { f.Benchmarks[3].AllocsPerOp = 200 }, 1},
 		// Latency entries: p50 is gated against a ceiling, speedup
 		// against the absolute MinSpeedupX floor; allocs are not gated.
 		{"lower latency is fine", func(f *File) { f.Benchmarks[0].P50Ns = 900 }, 0},
@@ -118,8 +126,9 @@ func TestCompare(t *testing.T) {
 func TestApplyHandicapTripsGate(t *testing.T) {
 	cur := baseFile()
 	ApplyHandicap(cur, 0.15)
-	if bad := Compare(baseFile(), cur, 0.10, 0.50); len(bad) != 1 {
-		t.Fatalf("15%% handicap against a 10%% tolerance produced %v, want 1 violation", bad)
+	// Both throughput entries (cycles/s and decisions/s) must trip.
+	if bad := Compare(baseFile(), cur, 0.10, 0.50); len(bad) != 2 {
+		t.Fatalf("15%% handicap against a 10%% tolerance produced %v, want 2 violations", bad)
 	}
 	unhit := baseFile()
 	ApplyHandicap(unhit, 0)
@@ -192,6 +201,22 @@ func TestLoadAcceptsV1(t *testing.T) {
 	}
 	if got.Benchmarks[0].Kind != KindThroughput {
 		t.Fatalf("v1 entry kind = %q, want %q", got.Benchmarks[0].Kind, KindThroughput)
+	}
+}
+
+// TestLoadAcceptsOlderSchemas pins the ops-throughput migration: every
+// prior schema version still loads under the v4 reader.
+func TestLoadAcceptsOlderSchemas(t *testing.T) {
+	for _, s := range []string{schemaV1, schemaV2, schemaV3} {
+		path := filepath.Join(t.TempDir(), "bench.json")
+		f := baseFile()
+		f.Schema = s
+		if err := f.Write(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err != nil {
+			t.Errorf("Load rejected schema %q: %v", s, err)
+		}
 	}
 }
 

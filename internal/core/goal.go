@@ -8,12 +8,22 @@ import (
 )
 
 // ResolveGoal lowers a typed schema.Goal to the (GoalFrac, GoalIPC)
-// pair a KernelSpec carries. Fraction and IPC goals pass through;
-// deadline goals are resolved against the node's GPU config — subtract
-// the PCI-E input-transfer component from the budget, then derive the
-// architectural IPC target (IPCGoalForDeadline). Because the lowering
-// depends on cfg, a deadline goal can resolve to a different IPC target
-// on every node of a heterogeneous fleet; callers re-resolve per node.
+// pair a KernelSpec carries. Fraction and IPC goals pass through; the
+// time-based forms (deadline, latency, periodic) are resolved against
+// the node's GPU config into an architectural IPC target
+// (IPCGoalForDeadline). Because the lowering depends on cfg, a
+// time-based goal can resolve to a different IPC target on every node
+// of a heterogeneous fleet; callers re-resolve per node.
+//
+//   - deadline: subtract the PCI-E input-transfer component from the
+//     budget, then derive the IPC that retires Instrs in what remains.
+//   - latency: derive the IPC that retires one request's Instrs within
+//     the SLO bound, scaled up by LatencyTailHeadroom for the tail
+//     percentile — a mean-IPC contract equal to the bound would miss
+//     the tail under epoch-to-epoch IPC variance (the variance the
+//     paper's Section 3.4 schemes exist to absorb).
+//   - periodic: derive the IPC that retires one activation's Instrs
+//     within its relative deadline (the period when DeadlineS is 0).
 func ResolveGoal(cfg config.GPU, g schema.Goal) (goalFrac, goalIPC float64, err error) {
 	if err := g.Validate(); err != nil {
 		return 0, 0, fmt.Errorf("%w: %v", ErrBadGoal, err)
@@ -25,6 +35,24 @@ func ResolveGoal(cfg config.GPU, g schema.Goal) (goalFrac, goalIPC float64, err 
 		return g.Frac, 0, nil
 	case schema.GoalIPC:
 		return 0, g.IPC, nil
+	case schema.GoalLatency:
+		l := g.Latency
+		ipc, err := IPCGoalForDeadline(cfg, l.Instrs, l.Seconds)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: %v", ErrBadGoal, err)
+		}
+		return 0, ipc * LatencyTailHeadroom(l.Percentile), nil
+	case schema.GoalPeriodic:
+		p := g.Periodic
+		budget := p.DeadlineS
+		if budget == 0 {
+			budget = p.PeriodS
+		}
+		ipc, err := IPCGoalForDeadline(cfg, p.Instrs, budget)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: %v", ErrBadGoal, err)
+		}
+		return 0, ipc, nil
 	}
 	d := g.Deadline
 	budget := d.Seconds
@@ -47,4 +75,22 @@ func ResolveGoal(cfg config.GPU, g schema.Goal) (goalFrac, goalIPC float64, err 
 		return 0, 0, fmt.Errorf("%w: %v", ErrBadGoal, err)
 	}
 	return 0, ipc, nil
+}
+
+// LatencyTailHeadroom is the factor a latency-SLO goal's mean-IPC
+// target is raised above the per-request bound to cover the requested
+// tail percentile. Up to p90 the mean suffices (epoch IPC under the
+// QoS schemes is roughly symmetric around its mean); past p90 the
+// allowance grows linearly — p99 enforces ~22.5% above the bound,
+// p99.9 ~25% — a deliberately simple piecewise model of the
+// epoch-level IPC spread the history/elastic/rollover machinery
+// leaves behind. Percentile 0 means the default p99.
+func LatencyTailHeadroom(percentile float64) float64 {
+	if percentile == 0 {
+		percentile = 0.99
+	}
+	if percentile <= 0.9 {
+		return 1
+	}
+	return 1 + 2.5*(percentile-0.9)
 }

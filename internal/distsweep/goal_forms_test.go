@@ -1,0 +1,67 @@
+package distsweep
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestSpecNewGoalFormsDecodeButValidateRejects pins the contract the
+// open-world goal forms have with the sweep protocol: the typed union
+// decodes them faithfully off the wire (a coordinator must be able to
+// say precisely what it refuses), but Validate rejects any non-frac
+// axis — sweeps sweep the paper's fraction-of-isolated-IPC axis, and
+// the journal stage keys hash its historical bare-number encoding.
+func TestSpecNewGoalFormsDecodeButValidateRejects(t *testing.T) {
+	cases := []struct {
+		goalJSON string
+		kind     string
+	}{
+		{`{"latency":{"instrs":1000,"seconds":0.001,"percentile":0.99}}`, schema.GoalLatency},
+		{`{"periodic":{"instrs":500,"period_s":0.033}}`, schema.GoalPeriodic},
+	}
+	for _, c := range cases {
+		raw := `{"mode":"pairs","pairs":[{"qos":"sgemm","nonqos":"lbm"}],
+			"goals":[0.5,` + c.goalJSON + `],"scheme":"rollover"}`
+		var sp Spec
+		if err := json.Unmarshal([]byte(raw), &sp); err != nil {
+			t.Fatalf("%s: decode: %v", c.kind, err)
+		}
+		if len(sp.Goals) != 2 || sp.Goals[0] != schema.FracGoal(0.5) || sp.Goals[1].Kind != c.kind {
+			t.Fatalf("%s: decoded goals = %+v", c.kind, sp.Goals)
+		}
+		err := sp.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted a non-frac sweep axis", c.kind)
+		}
+		if !strings.Contains(err.Error(), c.kind) {
+			t.Fatalf("%s: Validate error %q does not name the offending form", c.kind, err)
+		}
+		// Re-encoding preserves the typed union: the coordinator can echo
+		// the spec it refused without mangling the goal payload.
+		b, err := json.Marshal(sp.Goals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back []schema.Goal
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: reparse %s: %v", c.kind, b, err)
+		}
+		if back[1] != sp.Goals[1] {
+			t.Fatalf("%s: goal round trip = %+v, want %+v", c.kind, back[1], sp.Goals[1])
+		}
+	}
+
+	// Control: the same spec with an all-frac axis is a valid sweep.
+	var ok Spec
+	if err := json.Unmarshal([]byte(
+		`{"mode":"pairs","pairs":[{"qos":"sgemm","nonqos":"lbm"}],"goals":[0.5,0.9],"scheme":"rollover"}`,
+	), &ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("all-frac control spec: %v", err)
+	}
+}

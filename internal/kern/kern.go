@@ -16,8 +16,11 @@ import (
 	"repro/internal/rng"
 )
 
-// Class is the paper's coarse workload classification (Section 4.2,
-// Figure 7 groups pairs into C+C, C+M and M+M).
+// Class is the coarse workload classification. ClassCompute and
+// ClassMemory are the paper's (Section 4.2, Figure 7 groups pairs into
+// C+C, C+M and M+M); ClassInfer and ClassRT extend the taxonomy to the
+// open-world behavioural classes (serving-style inference with a
+// latency SLO, real-time periodic with a hard deadline).
 type Class uint8
 
 const (
@@ -25,14 +28,26 @@ const (
 	ClassCompute Class = iota
 	// ClassMemory marks kernels limited by memory bandwidth/latency.
 	ClassMemory
+	// ClassInfer marks serving-style inference kernels:
+	// memory-bandwidth-bound, phase-bursty, carrying a latency SLO.
+	ClassInfer
+	// ClassRT marks real-time periodic kernels with a hard deadline.
+	ClassRT
 )
 
-// String returns "C" or "M", matching the paper's figure labels.
+// String returns the class label: "C"/"M" matching the paper's figure
+// labels, "I"/"R" for the open-world classes.
 func (c Class) String() string {
-	if c == ClassCompute {
+	switch c {
+	case ClassCompute:
 		return "C"
+	case ClassInfer:
+		return "I"
+	case ClassRT:
+		return "R"
+	default:
+		return "M"
 	}
-	return "M"
 }
 
 // Profile describes a kernel's behaviour and shape.

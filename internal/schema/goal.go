@@ -6,23 +6,27 @@ import (
 	"fmt"
 )
 
-// Goal is the typed union of the three QoS goal forms the system
-// accepts, replacing the ad-hoc "at most one of goal_frac / goal_ipc /
-// deadline" field triples that request decoding and sweep specs used to
-// validate independently. A Goal is exactly one of:
+// Goal is the typed union of the QoS goal forms the system accepts,
+// replacing the ad-hoc "at most one of goal_frac / goal_ipc / deadline"
+// field triples that request decoding and sweep specs used to validate
+// independently. A Goal is exactly one of:
 //
 //   - none:     best effort, no QoS target (the zero value)
 //   - frac:     a fraction of isolated IPC in (0,1] — the paper's sweep axis
 //   - ipc:      an absolute thread-IPC target
 //   - deadline: an application deadline lowered to an IPC target per
 //     GPU config (core.ResolveGoal)
+//   - latency:  a serving-style per-request latency SLO at a tail
+//     percentile (LLM-inference contracts)
+//   - periodic: a real-time activation contract — Instrs per period,
+//     each activation due within its relative deadline
 //
 // The JSON encoding keeps the fraction form wire-compatible with the
 // bare numbers the distributed-sweep protocol has always shipped
 // ("goals":[0.5,0.9]): a frac goal marshals as a bare number and a bare
 // number unmarshals as a frac goal. The other forms are single-key
-// objects: {"ipc":2.5} and {"deadline":{...}}. null (or an omitted
-// field) is the none form.
+// objects: {"ipc":2.5}, {"deadline":{...}}, {"latency":{...}} and
+// {"periodic":{...}}. null (or an omitted field) is the none form.
 
 // Goal kind values of Goal.Kind.
 const (
@@ -30,6 +34,8 @@ const (
 	GoalFrac     = "frac"
 	GoalIPC      = "ipc"
 	GoalDeadline = "deadline"
+	GoalLatency  = "latency"
+	GoalPeriodic = "periodic"
 )
 
 // ErrBadGoal marks a structurally invalid goal: more than one form set,
@@ -50,14 +56,42 @@ type Deadline struct {
 	PCIeLatency   float64 `json:"pcie_latency_s,omitempty"`
 }
 
+// Latency is the serving-SLO form of a QoS goal, the contract of
+// LLM-inference-style workloads: every request of Instrs thread
+// instructions must complete within Seconds at the Percentile tail.
+// Percentile 0 defaults to 0.99; valid values are [0.5, 1). The
+// lowering (core.ResolveGoal) derives a mean-IPC target from the
+// per-request bound plus a tail-headroom allowance for epoch-to-epoch
+// IPC variance under sharing.
+type Latency struct {
+	Instrs     int64   `json:"instrs"`
+	Seconds    float64 `json:"seconds"`
+	Percentile float64 `json:"percentile,omitempty"`
+}
+
+// Periodic is the real-time form of a QoS goal (contention-aware
+// real-time GPU partitioning): an activation of Instrs thread
+// instructions is released every PeriodS seconds and must finish within
+// DeadlineS of its release. DeadlineS 0 means an implicit deadline
+// equal to the period; constrained deadlines (DeadlineS < PeriodS)
+// tighten the derived IPC target.
+type Periodic struct {
+	Instrs    int64   `json:"instrs"`
+	PeriodS   float64 `json:"period_s"`
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+}
+
 // Goal is one QoS target. The zero value is the none (best-effort)
-// form. Construct non-zero goals with FracGoal/IPCGoal/DeadlineGoal so
-// Kind and the payload field can never disagree.
+// form. Construct non-zero goals with the form constructors
+// (FracGoal/IPCGoal/DeadlineGoal/LatencyGoal/PeriodicGoal) so Kind and
+// the payload field can never disagree.
 type Goal struct {
 	Kind     string
 	Frac     float64
 	IPC      float64
 	Deadline Deadline
+	Latency  Latency
+	Periodic Periodic
 }
 
 // FracGoal returns the fraction-of-isolated-IPC form.
@@ -68,6 +102,12 @@ func IPCGoal(ipc float64) Goal { return Goal{Kind: GoalIPC, IPC: ipc} }
 
 // DeadlineGoal returns the application-deadline form.
 func DeadlineGoal(d Deadline) Goal { return Goal{Kind: GoalDeadline, Deadline: d} }
+
+// LatencyGoal returns the serving latency-SLO form.
+func LatencyGoal(l Latency) Goal { return Goal{Kind: GoalLatency, Latency: l} }
+
+// PeriodicGoal returns the real-time periodic form.
+func PeriodicGoal(p Periodic) Goal { return Goal{Kind: GoalPeriodic, Periodic: p} }
 
 // FracGoals lifts a slice of fractions (the sweep axis as every config
 // file and flag writes it) into frac goals.
@@ -101,6 +141,26 @@ func (g Goal) Validate() error {
 		}
 		if g.Deadline.Seconds <= 0 {
 			return fmt.Errorf("%w: deadline needs a positive time budget", ErrBadGoal)
+		}
+	case GoalLatency:
+		if g.Latency.Instrs <= 0 {
+			return fmt.Errorf("%w: latency SLO needs a positive per-request instruction count", ErrBadGoal)
+		}
+		if g.Latency.Seconds <= 0 {
+			return fmt.Errorf("%w: latency SLO needs a positive time bound", ErrBadGoal)
+		}
+		if p := g.Latency.Percentile; p != 0 && (p < 0.5 || p >= 1) {
+			return fmt.Errorf("%w: latency percentile %v outside [0.5,1)", ErrBadGoal, p)
+		}
+	case GoalPeriodic:
+		if g.Periodic.Instrs <= 0 {
+			return fmt.Errorf("%w: periodic goal needs a positive per-activation instruction count", ErrBadGoal)
+		}
+		if g.Periodic.PeriodS <= 0 {
+			return fmt.Errorf("%w: periodic goal needs a positive period", ErrBadGoal)
+		}
+		if d := g.Periodic.DeadlineS; d < 0 || d > g.Periodic.PeriodS {
+			return fmt.Errorf("%w: periodic deadline %v outside (0,period]", ErrBadGoal, d)
 		}
 	default:
 		return fmt.Errorf("%w: unknown goal kind %q", ErrBadGoal, g.Kind)
@@ -141,6 +201,8 @@ type goalObject struct {
 	Frac     *float64  `json:"frac,omitempty"`
 	IPC      *float64  `json:"ipc,omitempty"`
 	Deadline *Deadline `json:"deadline,omitempty"`
+	Latency  *Latency  `json:"latency,omitempty"`
+	Periodic *Periodic `json:"periodic,omitempty"`
 }
 
 // MarshalJSON encodes frac goals as bare numbers (sweep wire compat),
@@ -155,12 +217,17 @@ func (g Goal) MarshalJSON() ([]byte, error) {
 		return json.Marshal(goalObject{IPC: &g.IPC})
 	case GoalDeadline:
 		return json.Marshal(goalObject{Deadline: &g.Deadline})
+	case GoalLatency:
+		return json.Marshal(goalObject{Latency: &g.Latency})
+	case GoalPeriodic:
+		return json.Marshal(goalObject{Periodic: &g.Periodic})
 	}
 	return nil, fmt.Errorf("%w: unknown goal kind %q", ErrBadGoal, g.Kind)
 }
 
 // UnmarshalJSON accepts a bare number (frac), null (none), or an object
-// carrying exactly one of "frac", "ipc", "deadline".
+// carrying exactly one of "frac", "ipc", "deadline", "latency",
+// "periodic".
 func (g *Goal) UnmarshalJSON(b []byte) error {
 	var probe any
 	if err := json.Unmarshal(b, &probe); err != nil {
@@ -192,16 +259,26 @@ func (g *Goal) UnmarshalJSON(b []byte) error {
 		if obj.Deadline != nil {
 			forms++
 		}
+		if obj.Latency != nil {
+			forms++
+		}
+		if obj.Periodic != nil {
+			forms++
+		}
 		if forms != 1 {
-			return fmt.Errorf("%w: goal object must carry exactly one of frac, ipc, deadline", ErrBadGoal)
+			return fmt.Errorf("%w: goal object must carry exactly one of frac, ipc, deadline, latency, periodic", ErrBadGoal)
 		}
 		switch {
 		case obj.Frac != nil:
 			*g = FracGoal(*obj.Frac)
 		case obj.IPC != nil:
 			*g = IPCGoal(*obj.IPC)
-		default:
+		case obj.Deadline != nil:
 			*g = DeadlineGoal(*obj.Deadline)
+		case obj.Latency != nil:
+			*g = LatencyGoal(*obj.Latency)
+		default:
+			*g = PeriodicGoal(*obj.Periodic)
 		}
 		return nil
 	}

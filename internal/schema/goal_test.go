@@ -39,6 +39,14 @@ func TestGoalUnionJSONForms(t *testing.T) {
 		{`{"ipc":2.5}`, schema.IPCGoal(2.5)},
 		{`{"deadline":{"instrs":1000,"seconds":0.5}}`,
 			schema.DeadlineGoal(schema.Deadline{Instrs: 1000, Seconds: 0.5})},
+		{`{"latency":{"instrs":2000,"seconds":0.002,"percentile":0.99}}`,
+			schema.LatencyGoal(schema.Latency{Instrs: 2000, Seconds: 0.002, Percentile: 0.99})},
+		{`{"latency":{"instrs":2000,"seconds":0.002}}`, // percentile defaults at lowering, not decode
+			schema.LatencyGoal(schema.Latency{Instrs: 2000, Seconds: 0.002})},
+		{`{"periodic":{"instrs":500,"period_s":0.033}}`,
+			schema.PeriodicGoal(schema.Periodic{Instrs: 500, PeriodS: 0.033})},
+		{`{"periodic":{"instrs":500,"period_s":0.033,"deadline_s":0.01}}`,
+			schema.PeriodicGoal(schema.Periodic{Instrs: 500, PeriodS: 0.033, DeadlineS: 0.01})},
 	}
 	for _, c := range cases {
 		var g schema.Goal
@@ -84,6 +92,10 @@ func TestGoalValidate(t *testing.T) {
 		schema.FracGoal(1),
 		schema.IPCGoal(3),
 		schema.DeadlineGoal(schema.Deadline{Instrs: 10, Seconds: 1}),
+		schema.LatencyGoal(schema.Latency{Instrs: 10, Seconds: 0.01}),
+		schema.LatencyGoal(schema.Latency{Instrs: 10, Seconds: 0.01, Percentile: 0.999}),
+		schema.PeriodicGoal(schema.Periodic{Instrs: 10, PeriodS: 0.05}),
+		schema.PeriodicGoal(schema.Periodic{Instrs: 10, PeriodS: 0.05, DeadlineS: 0.05}),
 	}
 	for _, g := range ok {
 		if err := g.Validate(); err != nil {
@@ -97,6 +109,14 @@ func TestGoalValidate(t *testing.T) {
 		schema.IPCGoal(-1),
 		schema.DeadlineGoal(schema.Deadline{Instrs: 0, Seconds: 1}),
 		schema.DeadlineGoal(schema.Deadline{Instrs: 10, Seconds: 0}),
+		schema.LatencyGoal(schema.Latency{Instrs: 0, Seconds: 0.01}),
+		schema.LatencyGoal(schema.Latency{Instrs: 10, Seconds: 0}),
+		schema.LatencyGoal(schema.Latency{Instrs: 10, Seconds: 0.01, Percentile: 0.3}),
+		schema.LatencyGoal(schema.Latency{Instrs: 10, Seconds: 0.01, Percentile: 1}),
+		schema.PeriodicGoal(schema.Periodic{Instrs: 0, PeriodS: 0.05}),
+		schema.PeriodicGoal(schema.Periodic{Instrs: 10, PeriodS: 0}),
+		schema.PeriodicGoal(schema.Periodic{Instrs: 10, PeriodS: 0.05, DeadlineS: 0.06}),
+		schema.PeriodicGoal(schema.Periodic{Instrs: 10, PeriodS: 0.05, DeadlineS: -1}),
 		{Kind: "bogus"},
 	}
 	for _, g := range bad {

@@ -19,13 +19,19 @@ import (
 // exports and checkpoint journals do.
 
 // KernelRequest describes the kernel a client wants admitted. Exactly
-// one goal form may be set: GoalFrac (fraction of isolated IPC, the
-// paper's sweep axis), GoalIPC (absolute thread-IPC), or Deadline
+// one goal form may be set: the typed Goal union (which carries every
+// form, including the latency-SLO and periodic real-time goals), or one
+// of the legacy v1 fields — GoalFrac (fraction of isolated IPC, the
+// paper's sweep axis), GoalIPC (absolute thread-IPC), Deadline
 // (application deadline translated via core.IPCGoalForDeadline). All
 // zero means a non-QoS kernel (best effort).
 type KernelRequest struct {
 	// Workload names a benchmark from internal/workloads.
 	Workload string `json:"workload"`
+	// Goal is the typed QoS goal union (bare fraction, {"ipc":..},
+	// {"deadline":{..}}, {"latency":{..}} or {"periodic":{..}}),
+	// exclusive with the legacy triple below.
+	Goal *schema.Goal `json:"goal,omitempty"`
 	// GoalFrac is the QoS goal as a fraction of isolated IPC (0,1].
 	GoalFrac float64 `json:"goal_frac,omitempty"`
 	// GoalIPC is an absolute thread-IPC goal.
@@ -39,15 +45,23 @@ type KernelRequest struct {
 // alias keeps the v1 wire name.
 type DeadlineRequest = schema.Deadline
 
-// goal lifts the v1 field triple into the typed union. The "at most one
-// form" rule and the per-form range checks live on schema.Goal now; the
+// goal lifts the request's goal into the typed union: the typed Goal
+// field passes through directly, the legacy v1 field triple goes via
+// schema.GoalFromForms. Setting both is a client error. The "at most
+// one form" rule and the per-form range checks live on schema.Goal; the
 // server only translates the sentinel so clients keep seeing 400s.
 func (k *KernelRequest) goal() (schema.Goal, error) {
-	g, err := schema.GoalFromForms(k.GoalFrac, k.GoalIPC, k.Deadline)
+	legacy, err := schema.GoalFromForms(k.GoalFrac, k.GoalIPC, k.Deadline)
 	if err != nil {
 		return schema.Goal{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	return g, nil
+	if k.Goal != nil {
+		if !legacy.IsZero() {
+			return schema.Goal{}, fmt.Errorf("%w: goal is exclusive with goal_frac/goal_ipc/deadline", ErrBadRequest)
+		}
+		return *k.Goal, nil
+	}
+	return legacy, nil
 }
 
 // spec validates the request and lowers it to a core.KernelSpec via the

@@ -1,0 +1,37 @@
+package server
+
+import "context"
+
+// In-process client surface: the stream driver (internal/stream) and
+// embedding tests submit jobs to the decision loop directly, without a
+// listener, sharing exactly the code path the HTTP handlers use — a
+// drive through Drive/ReleaseJob writes the same decision journal, in
+// the same order, as the same submissions over /v1.
+
+// Drive submits one job and blocks until the decision loop reaches a
+// terminal verdict (admitted, rejected or failed), returning the final
+// view. Submission errors (draining, queue full, validation) are
+// returned as-is from the shared error taxonomy; a rejected admission
+// is not an error — it is a decided job whose view says so.
+func (s *Server) Drive(ctx context.Context, req JobRequest) (JobView, error) {
+	j, err := s.submit(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+	return j.view(), nil
+}
+
+// ReleaseJob frees an admitted job's mix slot, exactly like
+// DELETE /v1/jobs/{id}.
+func (s *Server) ReleaseJob(id string) (JobView, error) {
+	j, err := s.release(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	return j.view(), nil
+}

@@ -1,0 +1,216 @@
+package stream
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func specFor(process string) GenSpec {
+	return GenSpec{
+		Process:    process,
+		RatePerSec: 200,
+		DurationMs: 60_000,
+		Seed:       42,
+		Tenants:    DefaultTenants(),
+	}
+}
+
+func TestStreamGenerateDeterministic(t *testing.T) {
+	for _, proc := range Processes() {
+		a, err := Generate(specFor(proc))
+		if err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+		b, err := Generate(specFor(proc))
+		if err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+		ab, err := a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ab) != string(bb) {
+			t.Errorf("%s: same spec produced different traces", proc)
+		}
+		ha, _ := a.Hash()
+		hb, _ := b.Hash()
+		if ha != hb || ha == "" {
+			t.Errorf("%s: hash mismatch %q vs %q", proc, ha, hb)
+		}
+		// A different seed must move the arrivals.
+		spec := specFor(proc)
+		spec.Seed = 43
+		c, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, _ := c.Encode()
+		if string(ab) == string(cb) {
+			t.Errorf("%s: different seeds produced identical traces", proc)
+		}
+	}
+}
+
+func TestStreamGenerateMeanRate(t *testing.T) {
+	// All three processes are normalized to the same mean load. The
+	// bursty process needs a longer horizon for the law of large numbers
+	// to bite: bursts carry ~80% of its arrivals and the total burst
+	// occupancy over only ~30 sojourn cycles has ~15% relative std.
+	for _, proc := range Processes() {
+		spec := specFor(proc)
+		if proc == ProcessBursty {
+			spec.DurationMs = 600_000
+		}
+		tr, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+		got := float64(len(tr.Events))
+		want := spec.RatePerSec * float64(spec.DurationMs) / 1000
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("%s: %v arrivals, want within 10%% of %v", proc, got, want)
+		}
+		// Events are ordered and sequentially numbered.
+		var lastUs int64
+		for i, ev := range tr.Events {
+			if ev.Seq != i {
+				t.Fatalf("%s: event %d has seq %d", proc, i, ev.Seq)
+			}
+			if ev.TUs < lastUs {
+				t.Fatalf("%s: event %d goes back in time", proc, i)
+			}
+			lastUs = ev.TUs
+		}
+	}
+}
+
+// squaredCV computes the squared coefficient of variation of the
+// inter-arrival times — 1 for Poisson, >1 for bursty processes.
+func squaredCV(tr *Trace) float64 {
+	var gaps []float64
+	last := int64(0)
+	for _, ev := range tr.Events {
+		gaps = append(gaps, float64(ev.TUs-last))
+		last = ev.TUs
+	}
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	return varsum / float64(len(gaps)) / (mean * mean)
+}
+
+func TestStreamBurstyIsBurstier(t *testing.T) {
+	pois, err := Generate(specFor(ProcessPoisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := Generate(specFor(ProcessBursty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvP, cvB := squaredCV(pois), squaredCV(burst)
+	if cvP < 0.8 || cvP > 1.25 {
+		t.Errorf("poisson squared CV %.2f, want ~1", cvP)
+	}
+	// The default MMPP (8x bursts, 10% duty) has a squared CV well
+	// above 2; anything close to 1 means the modulation is broken.
+	if cvB < 2 {
+		t.Errorf("bursty squared CV %.2f, want >= 2", cvB)
+	}
+}
+
+func TestStreamDiurnalModulates(t *testing.T) {
+	spec := specFor(ProcessDiurnal)
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sinusoid cycle over the duration: the first half (rising
+	// sine) must carry clearly more arrivals than the second.
+	mid := spec.DurationMs * 1000 / 2
+	var first, second int
+	for _, ev := range tr.Events {
+		if ev.TUs < mid {
+			first++
+		} else {
+			second++
+		}
+	}
+	if first <= second {
+		t.Errorf("diurnal first half %d <= second half %d; no modulation", first, second)
+	}
+}
+
+func TestStreamTenantWeights(t *testing.T) {
+	tr, err := Generate(specFor(ProcessPoisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, ev := range tr.Events {
+		counts[ev.Tenant]++
+	}
+	total := float64(len(tr.Events))
+	// Weights 3/2/3/2 over 10.
+	for name, wantFrac := range map[string]float64{"llm": 0.3, "rt": 0.2, "batch": 0.3, "bg": 0.2} {
+		got := float64(counts[name]) / total
+		if math.Abs(got-wantFrac) > 0.05 {
+			t.Errorf("tenant %s got %.3f of arrivals, want ~%.2f", name, got, wantFrac)
+		}
+	}
+	// Tenant identity flows through to the events.
+	for _, ev := range tr.Events {
+		if ev.Tenant == "llm" {
+			if ev.Workload != "infer" || ev.Goal.Kind != schema.GoalLatency {
+				t.Fatalf("llm arrival carries %q/%q", ev.Workload, ev.Goal.Kind)
+			}
+		}
+	}
+}
+
+func TestStreamSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*GenSpec)
+		want string
+	}{
+		{"unknown process", func(s *GenSpec) { s.Process = "lunar" }, "unknown process"},
+		{"zero rate", func(s *GenSpec) { s.RatePerSec = 0 }, "rate_per_sec"},
+		{"zero duration", func(s *GenSpec) { s.DurationMs = 0 }, "duration_ms"},
+		{"no tenants", func(s *GenSpec) { s.Tenants = nil }, "tenant"},
+		{"dup tenant", func(s *GenSpec) { s.Tenants = append(s.Tenants, s.Tenants[0]) }, "duplicate"},
+		{"bad goal", func(s *GenSpec) { s.Tenants[0].Goal = schema.FracGoal(1.5) }, "goal"},
+		{"negative hold", func(s *GenSpec) { s.Tenants[0].HoldMs = -1 }, "hold_ms"},
+		{"explosive burst", func(s *GenSpec) {
+			s.Process = ProcessBursty
+			s.BurstFactor = 100
+			s.BurstMs = 1000
+			s.CalmMs = 1000
+		}, "calm rate"},
+	}
+	for _, tc := range cases {
+		spec := specFor(ProcessPoisson)
+		tc.mut(&spec)
+		_, err := Generate(spec)
+		if err == nil {
+			t.Errorf("%s: Generate accepted an invalid spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

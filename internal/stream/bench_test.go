@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/server"
+)
+
+// BenchmarkStreamAdmission measures sustained decision throughput: a
+// seeded Poisson stream over the default four-tenant mix driven
+// back-to-back (no pacing) into a cache-warm tiered fast path, holds
+// and releases included. It reports
+//
+//	decisions/s — arrivals decided per wall second
+//
+// which benchgate gates against the BENCH_core.json floor: a regression
+// anywhere on the stream path (driver bookkeeping, submit queue,
+// verdict cache, release path) shows up here even if the single-shot
+// admission latency of BenchmarkAdmission stays flat.
+func BenchmarkStreamAdmission(b *testing.B) {
+	spec := GenSpec{
+		Process:    ProcessPoisson,
+		RatePerSec: 50,
+		DurationMs: 2_000,
+		Seed:       7,
+		Tenants:    DefaultTenants(),
+	}
+	tr, err := Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := exp.NewRunner(2, exp.WithSessionOptions(core.WithWindow(30_000)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// MaxMix 1 bounds the what-if signature space so the warm-up pass
+	// simulates a handful of pairings instead of every 3-way mix; the
+	// timed drives hit the verdict cache either way, and the cache-warm
+	// decision path is the gated quantity.
+	s, err := server.New(server.Config{Runner: r, MaxMix: 1, FastPath: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	d := &Driver{Backend: ServerBackend{Server: s}, MixSlots: 1}
+
+	// One warm-up drive seeds the verdict cache with every mix signature
+	// the trace churns through; timed drives then measure the sustained
+	// fast path, which is what production streams see.
+	if _, err := d.Run(context.Background(), tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(context.Background(), tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	decisions := float64(len(tr.Events)) * float64(b.N)
+	b.ReportMetric(decisions/b.Elapsed().Seconds(), "decisions/s")
+}

@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/server"
+)
+
+// -update regenerates the committed golden arrival trace from
+// goldenSpec. Run `go test ./internal/stream -run TestStreamGoldenTrace
+// -update` after changing the spec, the generator, or the trace format.
+var update = flag.Bool("update", false, "rewrite the golden arrival trace")
+
+const goldenTracePath = "testdata/golden_bursty.jsonl"
+
+// goldenSpec is the committed CI replay workload: a bursty (MMPP)
+// stream over the default four-tenant mix, small enough to drive
+// through a live decision loop twice in a CI run but busy enough that
+// the mix churns (admits, holds, releases, rejects) while it plays.
+func goldenSpec() GenSpec {
+	return GenSpec{
+		Process:    ProcessBursty,
+		RatePerSec: 4,
+		DurationMs: 15_000,
+		Seed:       1917,
+		Tenants:    DefaultTenants(),
+	}
+}
+
+// TestStreamGoldenTrace pins the committed golden trace to the
+// generator: regenerating from the spec must reproduce the committed
+// bytes exactly. A failure means generation changed — deliberate
+// changes rerun with -update (and retire the old replay journals).
+func TestStreamGoldenTrace(t *testing.T) {
+	tr, err := Generate(goldenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteFile(goldenTracePath); err != nil {
+			t.Fatal(err)
+		}
+		hash, _ := tr.Hash()
+		t.Logf("rewrote %s (%d events, sha256 %s)", goldenTracePath, len(tr.Events), hash)
+		return
+	}
+	got, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s does not match the generator's output for its spec; rerun with -update if the change is deliberate", goldenTracePath)
+	}
+}
+
+// replayJournal drives the golden trace through a fresh daemon (fast
+// path on, fresh journal) and returns the journal bytes.
+func replayJournal(t *testing.T, tr *Trace, dir, name string) []byte {
+	t.Helper()
+	r, err := exp.NewRunner(2, exp.WithSessionOptions(core.WithWindow(30_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	s, err := server.New(server.Config{
+		Runner:      r,
+		JournalPath: path,
+		FastPath:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MixSlots mirrors the daemon's default MaxMix (3): at traffic peaks
+	// the driver advances virtual time to the next release instead of
+	// deadlocking the serial decision loop against its own held jobs.
+	d := &Driver{Backend: ServerBackend{Server: s}, MixSlots: 3}
+	rep, err := d.Run(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Admitted == 0 || rep.Totals.Rejected == 0 {
+		t.Fatalf("golden replay is degenerate (admitted %d, rejected %d): the gate needs both outcomes exercised",
+			rep.Totals.Admitted, rep.Totals.Rejected)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStreamReplayDeterminism is the CI replay gate: the committed
+// golden trace driven through two fresh daemons must produce
+// byte-identical decision journals. Any nondeterminism in the decision
+// path — map-order iteration, wall-clock leakage into verdicts, rng
+// shared across concerns — breaks the byte equality long before it
+// would surface as a flaky admission decision.
+func TestStreamReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay gate runs full simulations")
+	}
+	tr, err := ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("%v (run TestStreamGoldenTrace with -update to create it)", err)
+	}
+	dir := t.TempDir()
+	j1 := replayJournal(t, tr, dir, "run1.journal")
+	j2 := replayJournal(t, tr, dir, "run2.journal")
+	if !bytes.Equal(j1, j2) {
+		// CI uploads the diverging journals as failure artifacts.
+		if adir := os.Getenv("STREAM_ARTIFACT_DIR"); adir != "" {
+			os.MkdirAll(adir, 0o755)
+			os.WriteFile(filepath.Join(adir, "replay_run1.journal"), j1, 0o644)
+			os.WriteFile(filepath.Join(adir, "replay_run2.journal"), j2, 0o644)
+		}
+		t.Fatalf("decision journals diverge across identical replays (%d vs %d bytes)", len(j1), len(j2))
+	}
+	if len(j1) == 0 {
+		t.Fatal("replay produced an empty journal")
+	}
+}

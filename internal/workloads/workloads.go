@@ -142,9 +142,15 @@ func Profiles() []kern.Profile {
 	return out
 }
 
-// ByName returns the profile with the given name.
+// ByName returns the profile with the given name, searching the paper
+// suite first and then the open-world set (openworld.go).
 func ByName(name string) (kern.Profile, error) {
 	for _, p := range table {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range openWorld {
 		if p.Name == name {
 			return p, nil
 		}
@@ -212,8 +218,11 @@ func Trios() []Trio {
 	return out
 }
 
-// PairClass returns the paper's pairing class label: "C+C", "C+M" or
-// "M+M" (the QoS kernel's class is listed first for C+M/M+C merging).
+// PairClass returns the pairing class label. For the paper suite these
+// are its figure labels "C+C", "C+M" and "M+M" (the C/M order is merged
+// regardless of which kernel carries the goal); pairs involving an
+// open-world class keep the QoS kernel's class first ("I+M", "R+C", …)
+// since those grids are not merged in any paper figure.
 func PairClass(qos, nonqos string) (string, error) {
 	q, err := ByName(qos)
 	if err != nil {
@@ -222,6 +231,10 @@ func PairClass(qos, nonqos string) (string, error) {
 	n, err := ByName(nonqos)
 	if err != nil {
 		return "", err
+	}
+	paper := func(c kern.Class) bool { return c == kern.ClassCompute || c == kern.ClassMemory }
+	if !paper(q.Class) || !paper(n.Class) {
+		return q.Class.String() + "+" + n.Class.String(), nil
 	}
 	switch {
 	case q.Class == kern.ClassCompute && n.Class == kern.ClassCompute:
